@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks: whole-engine put/get/scan, UniKV vs the
+//! LevelDB-like baseline on identical in-memory environments.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::path::Path;
+use unikv_bench::engine::{make_engine, BenchEngine, EngineSpec};
+use unikv_bench::harness::load_phase;
+use unikv_env::mem::MemEnv;
+use unikv_lsm::Baseline;
+use unikv_workload::{format_key, make_value};
+
+const PRELOAD: u64 = 50_000;
+
+fn engine(spec: EngineSpec, tag: &str) -> Box<dyn BenchEngine> {
+    let env = MemEnv::shared();
+    let e = make_engine(spec, env, Path::new(&format!("/bench-{tag}"))).unwrap();
+    load_phase(e.as_ref(), PRELOAD, 256, true, 42).unwrap();
+    e
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let specs = [
+        (EngineSpec::UniKv, "unikv"),
+        (EngineSpec::Lsm(Baseline::LevelDb), "leveldb"),
+        (EngineSpec::Lsm(Baseline::PebblesDb), "pebblesdb"),
+    ];
+    for (spec, tag) in specs {
+        let e = engine(spec, tag);
+        let mut g = c.benchmark_group(format!("engine_{tag}"));
+        g.warm_up_time(std::time::Duration::from_millis(300));
+        g.measurement_time(std::time::Duration::from_millis(1200));
+        g.sample_size(20);
+        g.throughput(Throughput::Elements(1));
+
+        let mut k = 0u64;
+        g.bench_function("get_hit", |b| {
+            b.iter(|| {
+                k = (k.wrapping_mul(6364136223846793005).wrapping_add(1)) % PRELOAD;
+                std::hint::black_box(e.get(&format_key(k)).unwrap())
+            });
+        });
+        g.bench_function("get_miss", |b| {
+            b.iter(|| std::hint::black_box(e.get(b"user9999999999999").unwrap()));
+        });
+        let mut i = 0u64;
+        g.bench_function("put_256b", |b| {
+            b.iter(|| {
+                i += 1;
+                e.put(&format_key(i % PRELOAD), &make_value(i, 5, 256)).unwrap()
+            });
+        });
+        g.sample_size(20);
+        g.bench_function("scan_50", |b| {
+            b.iter(|| {
+                k = (k.wrapping_mul(6364136223846793005).wrapping_add(1)) % PRELOAD;
+                std::hint::black_box(e.scan(&format_key(k), 50).unwrap())
+            });
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks: skiplist / memtable operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use unikv_common::ValueType;
+use unikv_memtable::MemTable;
+
+fn bench_memtable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memtable");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("add_100b", |b| {
+        b.iter_batched(
+            MemTable::new,
+            |m| {
+                for i in 0..1000u64 {
+                    m.add(i + 1, ValueType::Value, &i.to_be_bytes(), &[7u8; 100]);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let filled = MemTable::new();
+    for i in 0..100_000u64 {
+        filled.add(i + 1, ValueType::Value, &i.to_be_bytes(), &[7u8; 100]);
+    }
+    let mut k = 0u64;
+    g.bench_function("get_hit_100k", |b| {
+        b.iter(|| {
+            k = (k.wrapping_mul(6364136223846793005).wrapping_add(1)) % 100_000;
+            std::hint::black_box(filled.get(&k.to_be_bytes(), u64::MAX >> 8))
+        });
+    });
+
+    g.bench_function("get_miss_100k", |b| {
+        b.iter(|| std::hint::black_box(filled.get(b"absent-key", u64::MAX >> 8)));
+    });
+
+    g.bench_function("seek_and_scan_50", |b| {
+        b.iter(|| {
+            let mut it = filled.iter();
+            it.seek_to_first();
+            let mut n = 0;
+            while it.valid() && n < 50 {
+                std::hint::black_box(it.value());
+                it.next();
+                n += 1;
+            }
+            n
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_memtable);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks: SSTable build / point read / iterate, with
+//! and without Bloom filters (UniKV removes them; baselines keep them).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::path::Path;
+use std::sync::Arc;
+use unikv_env::mem::MemEnv;
+use unikv_env::Env;
+use unikv_sstable::{Table, TableBuilder, TableBuilderOptions, TableOptions};
+
+const N: u32 = 20_000;
+
+fn entries() -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..N)
+        .map(|i| (format!("key{i:08}").into_bytes(), vec![7u8; 100]))
+        .collect()
+}
+
+fn build(env: &MemEnv, path: &Path, bloom: bool) -> Arc<Table> {
+    let mut b = TableBuilder::new(
+        env.new_writable(path).unwrap(),
+        TableBuilderOptions {
+            bloom_bits_per_key: bloom.then_some(10),
+            ..Default::default()
+        },
+    );
+    for (k, v) in entries() {
+        b.add(&k, &v).unwrap();
+    }
+    let props = b.finish().unwrap();
+    Table::open(
+        env.new_random_access(path).unwrap(),
+        props.file_size,
+        TableOptions::raw_uncached(),
+    )
+    .unwrap()
+}
+
+fn bench_sstable(c: &mut Criterion) {
+    let env = MemEnv::new();
+    let mut g = c.benchmark_group("sstable");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.sample_size(20);
+
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+    g.bench_function("build_20k", |b| {
+        b.iter(|| build(&env, Path::new("/bench.sst"), false));
+    });
+    g.finish();
+
+    let plain = build(&env, Path::new("/plain.sst"), false);
+    let bloomed = build(&env, Path::new("/bloom.sst"), true);
+
+    let mut g = c.benchmark_group("sstable_read");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1));
+    let mut k = 0u32;
+    g.bench_function("get_hit", |b| {
+        b.iter(|| {
+            k = k.wrapping_mul(1664525).wrapping_add(1013904223) % N;
+            let key = format!("key{k:08}");
+            std::hint::black_box(plain.get(key.as_bytes(), None).unwrap())
+        });
+    });
+    g.bench_function("get_absent_no_bloom", |b| {
+        b.iter(|| std::hint::black_box(plain.get(b"nope", Some(b"nope")).unwrap()));
+    });
+    g.bench_function("get_absent_with_bloom", |b| {
+        b.iter(|| std::hint::black_box(bloomed.get(b"nope", Some(b"nope")).unwrap()));
+    });
+    g.bench_function("iterate_1k", |b| {
+        b.iter(|| {
+            let mut it = plain.iter();
+            it.seek_to_first().unwrap();
+            let mut n = 0;
+            while it.valid() && n < 1000 {
+                std::hint::black_box(it.value());
+                it.next().unwrap();
+                n += 1;
+            }
+            n
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sstable);
+criterion_main!(benches);

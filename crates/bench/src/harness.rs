@@ -1,0 +1,328 @@
+//! Shared experiment machinery: configuration, timing, workload
+//! execution, and fixed-width table output.
+
+use crate::engine::BenchEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use unikv_common::Result;
+use unikv_workload::{format_key, make_value, Op, YcsbWorkload};
+
+/// Shared experiment sizing, settable from the CLI.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Records to preload.
+    pub num_keys: u64,
+    /// Operations per measured phase.
+    pub num_ops: u64,
+    /// Value size in bytes (paper default: 1 KiB KV pairs).
+    pub value_size: usize,
+    /// Use the in-memory env instead of the filesystem.
+    pub use_mem_env: bool,
+    /// RNG seed for workload streams.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            num_keys: 100_000,
+            num_ops: 50_000,
+            value_size: 256,
+            use_mem_env: false,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// A fast configuration for smoke runs (`--quick`).
+    pub fn quick() -> Self {
+        BenchConfig {
+            num_keys: 20_000,
+            num_ops: 10_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// Kilo-operations per second over `n` ops in `secs` seconds.
+pub fn kops(n: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    n as f64 / secs / 1000.0
+}
+
+/// Load `n` records with `value_size`-byte values. `random_order` shuffles
+/// the insertion order deterministically (the paper loads randomly unless
+/// stated otherwise). Returns elapsed seconds.
+pub fn load_phase(
+    engine: &dyn BenchEngine,
+    n: u64,
+    value_size: usize,
+    random_order: bool,
+    seed: u64,
+) -> Result<f64> {
+    let mut order: Vec<u64> = (0..n).collect();
+    if random_order {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+    }
+    let start = Instant::now();
+    for &i in &order {
+        engine.put(&format_key(i), &make_value(i, 0, value_size))?;
+    }
+    engine.flush()?;
+    Ok(start.elapsed().as_secs_f64())
+}
+
+/// Outcome of an operation phase.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseResult {
+    /// Operations executed.
+    pub ops: u64,
+    /// Elapsed seconds.
+    pub secs: f64,
+    /// Reads that found a value.
+    pub found: u64,
+    /// Entries returned by scans.
+    pub scanned: u64,
+}
+
+impl PhaseResult {
+    /// Throughput in KOPS.
+    pub fn kops(&self) -> f64 {
+        kops(self.ops, self.secs)
+    }
+}
+
+/// Run `n` random point reads with the given key chooser ratio (uniform
+/// over the keyspace).
+pub fn read_phase(engine: &dyn BenchEngine, n: u64, keyspace: u64, seed: u64) -> Result<PhaseResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let mut found = 0;
+    for _ in 0..n {
+        let k = rng.gen_range(0..keyspace.max(1));
+        if engine.get(&format_key(k))?.is_some() {
+            found += 1;
+        }
+    }
+    Ok(PhaseResult {
+        ops: n,
+        secs: start.elapsed().as_secs_f64(),
+        found,
+        scanned: 0,
+    })
+}
+
+/// Run `n` scans of `scan_len` entries from random start keys.
+pub fn scan_phase(
+    engine: &dyn BenchEngine,
+    n: u64,
+    scan_len: usize,
+    keyspace: u64,
+    seed: u64,
+) -> Result<PhaseResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let mut scanned = 0;
+    for _ in 0..n {
+        let k = rng.gen_range(0..keyspace.max(1));
+        scanned += engine.scan(&format_key(k), scan_len)? as u64;
+    }
+    Ok(PhaseResult {
+        ops: n,
+        secs: start.elapsed().as_secs_f64(),
+        found: 0,
+        scanned,
+    })
+}
+
+/// Run `n` zipfian updates.
+pub fn update_phase(
+    engine: &dyn BenchEngine,
+    n: u64,
+    keyspace: u64,
+    value_size: usize,
+    seed: u64,
+) -> Result<PhaseResult> {
+    update_phase_dist(engine, n, keyspace, value_size, seed, false)
+}
+
+/// Run `n` updates, uniform or zipfian over the keyspace.
+pub fn update_phase_dist(
+    engine: &dyn BenchEngine,
+    n: u64,
+    keyspace: u64,
+    value_size: usize,
+    seed: u64,
+    uniform: bool,
+) -> Result<PhaseResult> {
+    let mut w = unikv_workload::MixedWorkload::new(0.0, keyspace, uniform, seed);
+    let start = Instant::now();
+    for i in 0..n {
+        match w.next_op() {
+            Op::Update(k) | Op::Read(k) => {
+                engine.put(&k, &make_value(i, 1, value_size))?;
+            }
+            _ => unreachable!("mixed workload emits only reads/updates"),
+        }
+    }
+    Ok(PhaseResult {
+        ops: n,
+        secs: start.elapsed().as_secs_f64(),
+        found: 0,
+        scanned: 0,
+    })
+}
+
+/// Execute `n` ops of a YCSB workload. Scans on engines without scan
+/// support are skipped (counted, zero work) so the hash store can still
+/// appear in tables with a footnote.
+pub fn run_ycsb(
+    engine: &dyn BenchEngine,
+    workload: &mut YcsbWorkload,
+    n: u64,
+    value_size: usize,
+) -> Result<PhaseResult> {
+    let start = Instant::now();
+    let mut found = 0;
+    let mut scanned = 0;
+    for i in 0..n {
+        match workload.next_op() {
+            Op::Read(k) => {
+                if engine.get(&k)?.is_some() {
+                    found += 1;
+                }
+            }
+            Op::Update(k) | Op::Insert(k) => {
+                engine.put(&k, &make_value(i, 2, value_size))?;
+            }
+            Op::Scan(k, len) => {
+                if engine.supports_scan() {
+                    scanned += engine.scan(&k, len)? as u64;
+                }
+            }
+            Op::ReadModifyWrite(k) => {
+                let _ = engine.get(&k)?;
+                engine.put(&k, &make_value(i, 3, value_size))?;
+            }
+        }
+    }
+    Ok(PhaseResult {
+        ops: n,
+        secs: start.elapsed().as_secs_f64(),
+        found,
+        scanned,
+    })
+}
+
+/// One output row: label + numeric columns.
+pub type Row = (String, Vec<String>);
+
+/// Fixed-width experiment table writer.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        for (_, cells) in &self.rows {
+            for (i, c) in cells.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        print!("{:label_w$}", "");
+        for (h, w) in self.headers.iter().zip(&widths) {
+            print!("  {h:>w$}");
+        }
+        println!();
+        for (label, cells) in &self.rows {
+            print!("{label:label_w$}");
+            for (c, w) in cells.iter().zip(&widths) {
+                print!("  {c:>w$}");
+            }
+            println!();
+        }
+    }
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format megabytes with 1 decimal.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{make_engine, EngineSpec};
+    use unikv_env::mem::MemEnv;
+    use unikv_workload::YcsbKind;
+
+    #[test]
+    fn phases_run_end_to_end() {
+        let env = MemEnv::shared();
+        let e = make_engine(EngineSpec::UniKv, env, std::path::Path::new("/db")).unwrap();
+        load_phase(e.as_ref(), 2000, 64, true, 1).unwrap();
+        let r = read_phase(e.as_ref(), 500, 2000, 2).unwrap();
+        assert_eq!(r.found, 500, "all preloaded keys must be found");
+        let s = scan_phase(e.as_ref(), 20, 10, 2000, 3).unwrap();
+        assert_eq!(s.scanned, 200);
+        let u = update_phase(e.as_ref(), 500, 2000, 64, 4).unwrap();
+        assert_eq!(u.ops, 500);
+        let mut w = YcsbWorkload::new(YcsbKind::A, 2000, 5);
+        let y = run_ycsb(e.as_ref(), &mut w, 500, 64).unwrap();
+        assert_eq!(y.ops, 500);
+        assert!(y.kops() > 0.0);
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let mut t = Table::new("demo", &["col1", "col2"]);
+        t.row("row-with-long-label", vec![f1(1.0), f2(2.0)]);
+        t.row("r", vec![mb(1 << 21), "x".into()]);
+        t.print();
+    }
+}

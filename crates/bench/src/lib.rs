@@ -1,0 +1,12 @@
+//! Experiment harness for the UniKV reproduction: a uniform engine
+//! adapter over UniKV, the four LSM baselines, and the hash-store
+//! motivation baseline, plus workload-execution and table-printing
+//! utilities shared by every experiment binary (see EXPERIMENTS.md for
+//! the experiment ↔ paper mapping).
+
+pub mod engine;
+pub mod experiments;
+pub mod harness;
+
+pub use engine::{make_engine, BenchEngine, EngineSpec};
+pub use harness::{BenchConfig, Row, Table};

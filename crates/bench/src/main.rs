@@ -1,0 +1,102 @@
+//! Experiment runner CLI.
+//!
+//! ```text
+//! unikv-bench <experiment|all> [--n=KEYS] [--ops=OPS] [--value-size=B]
+//!             [--quick] [--mem] [--seed=S]
+//! ```
+//!
+//! Run `unikv-bench list` for the experiment index (E1–E14; DESIGN.md §3).
+
+use unikv_bench::experiments::ALL;
+use unikv_bench::BenchConfig;
+
+fn usage() -> ! {
+    eprintln!("usage: unikv-bench <experiment|all|list> [options]");
+    eprintln!("options:");
+    eprintln!("  --n=KEYS         records to preload (default 100000)");
+    eprintln!("  --ops=OPS        ops per measured phase (default 50000)");
+    eprintln!("  --value-size=B   value size in bytes (default 256)");
+    eprintln!("  --quick          small sizes for a fast smoke run");
+    eprintln!("  --mem            use the in-memory env instead of the filesystem");
+    eprintln!("  --seed=S         workload RNG seed");
+    eprintln!("experiments:");
+    for (name, _) in ALL {
+        eprintln!("  {name}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut cfg = BenchConfig::default();
+    let mut target: Option<String> = None;
+    for arg in &args {
+        if let Some(v) = arg.strip_prefix("--n=") {
+            cfg.num_keys = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = arg.strip_prefix("--ops=") {
+            cfg.num_ops = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = arg.strip_prefix("--value-size=") {
+            cfg.value_size = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            cfg.seed = v.parse().unwrap_or_else(|_| usage());
+        } else if arg == "--quick" {
+            let quick = BenchConfig::quick();
+            cfg.num_keys = quick.num_keys;
+            cfg.num_ops = quick.num_ops;
+        } else if arg == "--mem" {
+            cfg.use_mem_env = true;
+        } else if arg.starts_with("--") {
+            eprintln!("unknown option {arg}");
+            usage();
+        } else if target.is_none() {
+            target = Some(arg.clone());
+        } else {
+            usage();
+        }
+    }
+    let Some(target) = target else { usage() };
+
+    if target == "list" {
+        for (name, _) in ALL {
+            println!("{name}");
+        }
+        return;
+    }
+
+    println!(
+        "# unikv-bench: keys={} ops={} value={}B env={} seed={}",
+        cfg.num_keys,
+        cfg.num_ops,
+        cfg.value_size,
+        if cfg.use_mem_env { "mem" } else { "fs" },
+        cfg.seed
+    );
+
+    let run = |name: &str, f: fn(&BenchConfig) -> unikv_common::Result<()>| {
+        let start = std::time::Instant::now();
+        match f(&cfg) {
+            Ok(()) => println!("# {name} done in {:.1}s", start.elapsed().as_secs_f64()),
+            Err(e) => {
+                eprintln!("# {name} FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    if target == "all" {
+        for (name, f) in ALL {
+            run(name, *f);
+        }
+        return;
+    }
+    match ALL.iter().find(|(name, _)| *name == target) {
+        Some((name, f)) => run(name, *f),
+        None => {
+            eprintln!("unknown experiment {target}");
+            usage();
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Byte-level integer encodings: little-endian fixed width and LEB128-style
+//! varints, matching the formats LevelDB-lineage stores use on disk.
+//!
+//! Encoders append to a `Vec<u8>`; decoders read from a slice and return the
+//! decoded value plus how many bytes were consumed (or advance a cursor).
+
+use crate::error::{Error, Result};
+
+/// Maximum encoded length of a varint32.
+pub const MAX_VARINT32_LEN: usize = 5;
+/// Maximum encoded length of a varint64.
+pub const MAX_VARINT64_LEN: usize = 10;
+
+/// Append a little-endian u32.
+#[inline]
+pub fn put_fixed32(dst: &mut Vec<u8>, v: u32) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian u64.
+#[inline]
+pub fn put_fixed64(dst: &mut Vec<u8>, v: u64) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Decode a little-endian u32 from the first 4 bytes of `src`.
+///
+/// # Panics
+/// Panics if `src` is shorter than 4 bytes; use [`try_decode_fixed32`] for
+/// untrusted input.
+#[inline]
+pub fn decode_fixed32(src: &[u8]) -> u32 {
+    u32::from_le_bytes(src[..4].try_into().expect("fixed32 needs 4 bytes"))
+}
+
+/// Decode a little-endian u64 from the first 8 bytes of `src`.
+///
+/// # Panics
+/// Panics if `src` is shorter than 8 bytes; use [`try_decode_fixed64`] for
+/// untrusted input.
+#[inline]
+pub fn decode_fixed64(src: &[u8]) -> u64 {
+    u64::from_le_bytes(src[..8].try_into().expect("fixed64 needs 8 bytes"))
+}
+
+/// Fallible fixed32 decode for untrusted input.
+#[inline]
+pub fn try_decode_fixed32(src: &[u8]) -> Result<u32> {
+    if src.len() < 4 {
+        return Err(Error::corruption("truncated fixed32"));
+    }
+    Ok(decode_fixed32(src))
+}
+
+/// Fallible fixed64 decode for untrusted input.
+#[inline]
+pub fn try_decode_fixed64(src: &[u8]) -> Result<u64> {
+    if src.len() < 8 {
+        return Err(Error::corruption("truncated fixed64"));
+    }
+    Ok(decode_fixed64(src))
+}
+
+/// Append a varint-encoded u32.
+#[inline]
+pub fn put_varint32(dst: &mut Vec<u8>, v: u32) {
+    put_varint64(dst, v as u64);
+}
+
+/// Append a varint-encoded u64 (7 bits per byte, MSB = continuation).
+pub fn put_varint64(dst: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        dst.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    dst.push(v as u8);
+}
+
+/// Decode a varint u64 from `src`, returning `(value, bytes_consumed)`.
+pub fn get_varint64(src: &[u8]) -> Result<(u64, usize)> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &b) in src.iter().enumerate() {
+        if shift >= 64 {
+            break;
+        }
+        if b < 0x80 {
+            // Final byte: reject bits that would overflow 64.
+            let part = b as u64;
+            if shift == 63 && part > 1 {
+                return Err(Error::corruption("varint64 overflow"));
+            }
+            result |= part << shift;
+            return Ok((result, i + 1));
+        }
+        result |= ((b & 0x7f) as u64) << shift;
+        shift += 7;
+    }
+    Err(Error::corruption("truncated or overlong varint64"))
+}
+
+/// Decode a varint u32 from `src`, returning `(value, bytes_consumed)`.
+pub fn get_varint32(src: &[u8]) -> Result<(u32, usize)> {
+    let (v, n) = get_varint64(src)?;
+    u32::try_from(v)
+        .map(|v32| (v32, n))
+        .map_err(|_| Error::corruption("varint32 overflow"))
+}
+
+/// Append a length-prefixed byte string (varint32 length + bytes).
+pub fn put_length_prefixed_slice(dst: &mut Vec<u8>, s: &[u8]) {
+    put_varint32(dst, s.len() as u32);
+    dst.extend_from_slice(s);
+}
+
+/// Read a length-prefixed byte string, returning `(slice, bytes_consumed)`.
+pub fn get_length_prefixed_slice(src: &[u8]) -> Result<(&[u8], usize)> {
+    let (len, n) = get_varint32(src)?;
+    let len = len as usize;
+    if src.len() < n + len {
+        return Err(Error::corruption("truncated length-prefixed slice"));
+    }
+    Ok((&src[n..n + len], n + len))
+}
+
+/// Number of bytes `put_varint64` would emit for `v`.
+#[inline]
+pub fn varint64_length(v: u64) -> usize {
+    // 1 + floor(bits/7); bits==0 still takes one byte.
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize + 6) / 7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_fixed32(&mut buf, 0xdeadbeef);
+        put_fixed64(&mut buf, 0x0123_4567_89ab_cdef);
+        assert_eq!(decode_fixed32(&buf[..4]), 0xdeadbeef);
+        assert_eq!(decode_fixed64(&buf[4..]), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn try_decode_rejects_short_input() {
+        assert!(try_decode_fixed32(&[1, 2, 3]).is_err());
+        assert!(try_decode_fixed64(&[0; 7]).is_err());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            assert_eq!(buf.len(), varint64_length(v), "length for {v}");
+            let (got, n) = get_varint64(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_is_error() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(get_varint64(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_error() {
+        // 10 continuation bytes followed by a large final byte exceeds 64 bits.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(get_varint64(&buf).is_err());
+    }
+
+    #[test]
+    fn varint32_rejects_64bit_values() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u32::MAX as u64 + 1);
+        assert!(get_varint32(&buf).is_err());
+    }
+
+    #[test]
+    fn length_prefixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_length_prefixed_slice(&mut buf, b"hello");
+        put_length_prefixed_slice(&mut buf, b"");
+        let (s1, n1) = get_length_prefixed_slice(&buf).unwrap();
+        assert_eq!(s1, b"hello");
+        let (s2, n2) = get_length_prefixed_slice(&buf[n1..]).unwrap();
+        assert_eq!(s2, b"");
+        assert_eq!(n1 + n2, buf.len());
+    }
+
+    #[test]
+    fn length_prefixed_truncated_is_error() {
+        let mut buf = Vec::new();
+        put_length_prefixed_slice(&mut buf, b"hello");
+        assert!(get_length_prefixed_slice(&buf[..3]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_varint64_roundtrip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            let (got, n) = get_varint64(&buf).unwrap();
+            prop_assert_eq!(got, v);
+            prop_assert_eq!(n, buf.len());
+            prop_assert!(buf.len() <= MAX_VARINT64_LEN);
+        }
+
+        #[test]
+        fn prop_varint32_roundtrip(v in any::<u32>()) {
+            let mut buf = Vec::new();
+            put_varint32(&mut buf, v);
+            let (got, n) = get_varint32(&buf).unwrap();
+            prop_assert_eq!(got, v);
+            prop_assert_eq!(n, buf.len());
+            prop_assert!(buf.len() <= MAX_VARINT32_LEN);
+        }
+
+        #[test]
+        fn prop_length_prefixed_roundtrip(s in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut buf = Vec::new();
+            put_length_prefixed_slice(&mut buf, &s);
+            let (got, n) = get_length_prefixed_slice(&buf).unwrap();
+            prop_assert_eq!(got, &s[..]);
+            prop_assert_eq!(n, buf.len());
+        }
+
+        #[test]
+        fn prop_varint_ordering_of_concatenation(a in any::<u64>(), b in any::<u64>()) {
+            // Two varints back to back decode independently.
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, a);
+            put_varint64(&mut buf, b);
+            let (ga, na) = get_varint64(&buf).unwrap();
+            let (gb, nb) = get_varint64(&buf[na..]).unwrap();
+            prop_assert_eq!(ga, a);
+            prop_assert_eq!(gb, b);
+            prop_assert_eq!(na + nb, buf.len());
+        }
+    }
+}

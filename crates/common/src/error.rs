@@ -1,0 +1,113 @@
+//! Error and result types shared across the workspace.
+
+use std::fmt;
+
+/// Unified result alias used by every crate in the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by storage operations.
+///
+/// The variants mirror the failure classes a LevelDB-lineage store
+/// distinguishes: not-found (control flow for reads), corruption (checksum
+/// or format violations, with context), invalid argument / configuration,
+/// and I/O errors propagated from the environment.
+#[derive(Debug)]
+pub enum Error {
+    /// Key (or file) does not exist. Used for read control flow.
+    NotFound,
+    /// On-disk data failed validation. Carries a human-readable context.
+    Corruption(String),
+    /// Caller misuse: bad option values, out-of-range parameters, etc.
+    InvalidArgument(String),
+    /// An I/O error from the underlying environment.
+    Io(std::io::Error),
+    /// Internal invariant violated (e.g. manifest references a missing file).
+    Internal(String),
+}
+
+impl Error {
+    /// Convenience constructor for corruption errors.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Convenience constructor for invalid-argument errors.
+    pub fn invalid_argument(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+
+    /// Convenience constructor for internal errors.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+
+    /// True if this error is [`Error::NotFound`].
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, Error::NotFound)
+    }
+
+    /// True if this error is [`Error::Corruption`].
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corruption(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound => write!(f, "not found"),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Error::NotFound.to_string(), "not found");
+        assert_eq!(
+            Error::corruption("bad crc").to_string(),
+            "corruption: bad crc"
+        );
+        assert_eq!(
+            Error::invalid_argument("x").to_string(),
+            "invalid argument: x"
+        );
+        assert_eq!(Error::internal("y").to_string(), "internal error: y");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Error::NotFound.is_not_found());
+        assert!(!Error::NotFound.is_corruption());
+        assert!(Error::corruption("z").is_corruption());
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        let e: Error = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire").into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

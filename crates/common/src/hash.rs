@@ -1,0 +1,125 @@
+//! Hash functions used by the hash index, Bloom filters, and sharding.
+//!
+//! UniKV's two-level hash index needs a family of independent hash
+//! functions: `h_1..h_n` choose candidate buckets (cuckoo-style) and
+//! `h_{n+1}` produces the 2-byte `keyTag` stored in each index entry.
+//! We derive the family from one 64-bit mixer with distinct seeds, which is
+//! standard practice and preserves the paper's collision behaviour.
+
+/// A fast 64-bit hash of `data` with a caller-chosen `seed`.
+///
+/// FNV-1a accumulation followed by a xorshift-multiply finalizer
+/// (splitmix64-style), giving good avalanche for short keys — the common
+/// case for KV workloads.
+pub fn hash64(data: &[u8], seed: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
+        h ^= v;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Finalize (splitmix64 tail).
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Seeds for the hash family used by the two-level index.
+///
+/// `FAMILY[0..n]` select candidate buckets; `TAG_SEED` produces keyTags.
+pub const FAMILY: [u64; 4] = [
+    0x1f3d_5b79_9b5d_3f1b,
+    0x2e4c_6a8a_a86a_4c2e,
+    0x3b59_77bb_bb77_593b,
+    0x4866_84cc_cc84_6648,
+];
+
+/// Seed for the keyTag hash (`h_{n+1}` in the paper).
+pub const TAG_SEED: u64 = 0x57a6_91dd_dd91_a657;
+
+/// Candidate-bucket hash `h_i(key)` for `i` in `0..FAMILY.len()`.
+#[inline]
+pub fn bucket_hash(key: &[u8], i: usize) -> u64 {
+    hash64(key, FAMILY[i])
+}
+
+/// The 2-byte keyTag stored in hash-index entries: the top 16 bits of
+/// `h_{n+1}(key)` as in the paper.
+#[inline]
+pub fn key_tag(key: &[u8]) -> u16 {
+    (hash64(key, TAG_SEED) >> 48) as u16
+}
+
+/// 32-bit hash used by Bloom filters and LRU shard selection.
+#[inline]
+pub fn hash32(data: &[u8], seed: u32) -> u32 {
+    hash64(data, seed as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash64(b"key", 1), hash64(b"key", 1));
+        assert_ne!(hash64(b"key", 1), hash64(b"key", 2));
+        assert_ne!(hash64(b"key1", 1), hash64(b"key2", 1));
+    }
+
+    #[test]
+    fn family_members_are_independent_enough() {
+        // Different family seeds should disagree on bucket choice for a
+        // decent fraction of keys (this is what makes cuckoo insertion work).
+        let n = 10_000u64;
+        let buckets = 1024u64;
+        let mut same = 0;
+        for i in 0..n {
+            let k = i.to_be_bytes();
+            if bucket_hash(&k, 0) % buckets == bucket_hash(&k, 1) % buckets {
+                same += 1;
+            }
+        }
+        // Expected collision rate is 1/1024 ≈ 10 of 10_000; allow slack.
+        assert!(same < 100, "family hashes too correlated: {same}");
+    }
+
+    #[test]
+    fn tag_distribution_is_wide() {
+        let tags: HashSet<u16> = (0..10_000u64).map(|i| key_tag(&i.to_be_bytes())).collect();
+        // With 65536 possible tags and 10k keys, expect thousands distinct.
+        assert!(tags.len() > 8_000, "only {} distinct tags", tags.len());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let a = hash64(&[], 0);
+        let b = hash64(&[], 1);
+        assert_ne!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hash_is_pure(data in proptest::collection::vec(any::<u8>(), 0..64), seed in any::<u64>()) {
+            prop_assert_eq!(hash64(&data, seed), hash64(&data, seed));
+        }
+
+        #[test]
+        fn prop_avalanche_on_append(data in proptest::collection::vec(any::<u8>(), 0..64), b in any::<u8>()) {
+            let mut longer = data.clone();
+            longer.push(b);
+            prop_assert_ne!(hash64(&data, 7), hash64(&longer, 7));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Inclusive key ranges used for SSTable metadata, partition boundaries,
+//! and compaction overlap tests.
+
+/// An inclusive range `[smallest, largest]` over user keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRange {
+    smallest: Vec<u8>,
+    largest: Vec<u8>,
+}
+
+impl KeyRange {
+    /// Build a range; callers must pass `smallest <= largest`.
+    pub fn new(smallest: impl Into<Vec<u8>>, largest: impl Into<Vec<u8>>) -> Self {
+        let (smallest, largest) = (smallest.into(), largest.into());
+        debug_assert!(smallest <= largest, "inverted key range");
+        KeyRange { smallest, largest }
+    }
+
+    /// The smallest key (inclusive).
+    pub fn smallest(&self) -> &[u8] {
+        &self.smallest
+    }
+
+    /// The largest key (inclusive).
+    pub fn largest(&self) -> &[u8] {
+        &self.largest
+    }
+
+    /// True if `key` lies within the range.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.smallest.as_slice() <= key && key <= self.largest.as_slice()
+    }
+
+    /// True if the two inclusive ranges intersect.
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        self.smallest.as_slice() <= other.largest.as_slice()
+            && other.smallest.as_slice() <= self.largest.as_slice()
+    }
+
+    /// Extend this range to also cover `key`.
+    pub fn extend_to(&mut self, key: &[u8]) {
+        if key < self.smallest.as_slice() {
+            self.smallest = key.to_vec();
+        }
+        if key > self.largest.as_slice() {
+            self.largest = key.to_vec();
+        }
+    }
+
+    /// The union of two ranges.
+    pub fn union(&self, other: &KeyRange) -> KeyRange {
+        KeyRange {
+            smallest: std::cmp::min(&self.smallest, &other.smallest).clone(),
+            largest: std::cmp::max(&self.largest, &other.largest).clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(a: &[u8], b: &[u8]) -> KeyRange {
+        KeyRange::new(a.to_vec(), b.to_vec())
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let kr = r(b"b", b"d");
+        assert!(kr.contains(b"b"));
+        assert!(kr.contains(b"c"));
+        assert!(kr.contains(b"d"));
+        assert!(!kr.contains(b"a"));
+        assert!(!kr.contains(b"e"));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let kr = r(b"c", b"f");
+        assert!(kr.overlaps(&r(b"a", b"c"))); // touch at left edge
+        assert!(kr.overlaps(&r(b"f", b"z"))); // touch at right edge
+        assert!(kr.overlaps(&r(b"d", b"e"))); // nested
+        assert!(kr.overlaps(&r(b"a", b"z"))); // covering
+        assert!(!kr.overlaps(&r(b"a", b"b")));
+        assert!(!kr.overlaps(&r(b"g", b"h")));
+    }
+
+    #[test]
+    fn extend_and_union() {
+        let mut kr = r(b"c", b"d");
+        kr.extend_to(b"a");
+        kr.extend_to(b"z");
+        kr.extend_to(b"m"); // no-op
+        assert_eq!(kr, r(b"a", b"z"));
+        assert_eq!(r(b"a", b"c").union(&r(b"b", b"z")), r(b"a", b"z"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_overlap_symmetric(a in 0u8..200, b in 0u8..200, c in 0u8..200, d in 0u8..200) {
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            let (c, d) = if c <= d { (c, d) } else { (d, c) };
+            let r1 = r(&[a], &[b]);
+            let r2 = r(&[c], &[d]);
+            prop_assert_eq!(r1.overlaps(&r2), r2.overlaps(&r1));
+            // Overlap iff some point is in both.
+            let brute = (0u8..=255).any(|x| r1.contains(&[x]) && r2.contains(&[x]));
+            prop_assert_eq!(r1.overlaps(&r2), brute);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Shared foundation for the UniKV reproduction workspace.
+//!
+//! This crate holds the vocabulary types every other crate speaks:
+//! errors, byte-level encodings, checksums, hash functions, internal key
+//! encoding, and the value-pointer format used by partial KV separation.
+//!
+//! Nothing in here performs I/O; it is pure, allocation-conscious code with
+//! property-tested round-trips.
+
+pub mod coding;
+pub mod crc32c;
+pub mod error;
+pub mod hash;
+pub mod ikey;
+pub mod keyrange;
+pub mod pointer;
+
+pub use error::{Error, Result};
+pub use ikey::{InternalKey, SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER};
+pub use keyrange::KeyRange;
+pub use pointer::ValuePointer;

@@ -1,0 +1,1639 @@
+//! The UniKV engine: differentiated indexing, partial KV separation,
+//! dynamic range partitioning, scan optimization, and crash recovery.
+//!
+//! ## Structure
+//!
+//! A database is a list of range partitions ordered by boundary key
+//! (the in-memory *partition index*; persisted in `META`). Each partition
+//! has its own memtable + WAL, an UnsortedStore (appended SSTables + hash
+//! index), a SortedStore (one sorted run with value pointers), and a value
+//! log. One `RwLock` guards the partition list: reads/scans share it,
+//! writes and structural operations (flush, merge, GC, split) take it
+//! exclusively and run inline, so experiments are deterministic — the
+//! paper's background threads are serialized with the foreground exactly
+//! as its §GC notes ("GC and compaction operations are executed
+//! sequentially... GC cost is charged to write performance").
+//!
+//! ## Crash consistency
+//!
+//! Every structural change follows *write files → sync → commit `META`
+//! atomically → delete old files*. The `META` rename is the commit point
+//! (the paper's `GC_done` marker generalized); files written before a
+//! crash that never got committed are orphans removed during recovery.
+
+use crate::fetch::FetchPool;
+use crate::meta::{DbMeta, LogRef, PartitionMeta, TableMeta};
+use crate::options::UniKvOptions;
+use crate::partition::{checkpoint_due, table_options, Partition, INDEX_CKPT};
+use crate::resolver::{partition_dir, ValueResolver};
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use unikv_common::ikey::{
+    extract_seq_type, extract_user_key, make_internal_key, SequenceNumber, ValueType,
+};
+use unikv_common::pointer::SeparatedValue;
+use unikv_common::{Error, Result};
+use unikv_env::Env;
+use unikv_hashindex::TwoLevelHashIndex;
+use crate::batch::{decode_batch_record, encode_batch_record, WriteBatch};
+use unikv_lsm::db::ScanItem;
+use unikv_lsm::filenames;
+use unikv_lsm::iter::{ConcatSource, InternalIterator, MemTableSource, MergingIterator, TableSource};
+use unikv_memtable::{LookupResult, MemTable};
+use unikv_sstable::{BlockCache, Table, TableBuilder, TableBuilderOptions, TableOptions};
+use unikv_vlog::{parse_vlog_file_name, vlog_file_name, ValueLog};
+use unikv_wal::{LogReader, LogWriter, ReadOutcome};
+
+/// Engine-level counters (per-database).
+#[derive(Debug, Default)]
+pub struct UniKvStats {
+    /// Bytes of user data accepted by writes (key + value).
+    pub user_bytes_written: AtomicU64,
+    /// Bytes written by memtable flushes.
+    pub bytes_flushed: AtomicU64,
+    /// Bytes read by UnsortedStore→SortedStore merges.
+    pub merge_bytes_read: AtomicU64,
+    /// Bytes written by merges (tables + newly separated values).
+    pub merge_bytes_written: AtomicU64,
+    /// Bytes rewritten by GC (values + tables).
+    pub gc_bytes_written: AtomicU64,
+    /// Bytes written while splitting partitions.
+    pub split_bytes_written: AtomicU64,
+    /// Number of flushes.
+    pub flushes: AtomicU64,
+    /// Number of full merges.
+    pub merges: AtomicU64,
+    /// Number of size-based (scan-optimization) merges.
+    pub scan_merges: AtomicU64,
+    /// Number of GC passes.
+    pub gcs: AtomicU64,
+    /// Number of partition splits.
+    pub splits: AtomicU64,
+    /// SSTables consulted across all point lookups.
+    pub tables_checked: AtomicU64,
+    /// Gets answered by a memtable.
+    pub memtable_hits: AtomicU64,
+    /// Hash-index candidates that failed key verification.
+    pub index_false_positives: AtomicU64,
+}
+
+impl UniKvStats {
+    fn add(c: &AtomicU64, v: u64) {
+        c.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Write amplification: device writes / user writes.
+    pub fn write_amplification(&self) -> f64 {
+        let user = self.user_bytes_written.load(Ordering::Relaxed);
+        if user == 0 {
+            return 0.0;
+        }
+        let device = self.bytes_flushed.load(Ordering::Relaxed)
+            + self.merge_bytes_written.load(Ordering::Relaxed)
+            + self.gc_bytes_written.load(Ordering::Relaxed)
+            + self.split_bytes_written.load(Ordering::Relaxed);
+        device as f64 / user as f64
+    }
+
+    /// Snapshot all counters as `(name, value)` pairs.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let l = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("user_bytes_written", l(&self.user_bytes_written)),
+            ("bytes_flushed", l(&self.bytes_flushed)),
+            ("merge_bytes_read", l(&self.merge_bytes_read)),
+            ("merge_bytes_written", l(&self.merge_bytes_written)),
+            ("gc_bytes_written", l(&self.gc_bytes_written)),
+            ("split_bytes_written", l(&self.split_bytes_written)),
+            ("flushes", l(&self.flushes)),
+            ("merges", l(&self.merges)),
+            ("scan_merges", l(&self.scan_merges)),
+            ("gcs", l(&self.gcs)),
+            ("splits", l(&self.splits)),
+            ("tables_checked", l(&self.tables_checked)),
+            ("memtable_hits", l(&self.memtable_hits)),
+            ("index_false_positives", l(&self.index_false_positives)),
+        ]
+    }
+}
+
+struct DbCore {
+    /// Partitions ordered by `meta.lo`.
+    partitions: Vec<Partition>,
+    next_partition: u32,
+    next_file: u64,
+    last_seq: SequenceNumber,
+}
+
+impl DbCore {
+    fn alloc_file(&mut self) -> u64 {
+        let n = self.next_file;
+        self.next_file += 1;
+        n
+    }
+
+    /// Index of the partition whose range contains `user_key`.
+    fn route(&self, user_key: &[u8]) -> usize {
+        let idx = self
+            .partitions
+            .partition_point(|p| p.meta.lo.as_slice() <= user_key);
+        idx.saturating_sub(1)
+    }
+
+    fn to_meta(&self) -> DbMeta {
+        DbMeta {
+            partitions: self.partitions.iter().map(|p| p.meta.clone()).collect(),
+            next_partition: self.next_partition,
+            next_file: self.next_file,
+            last_sequence: self.last_seq,
+        }
+    }
+}
+
+/// The UniKV database handle. Cloneable via `Arc`; all methods take `&self`.
+pub struct UniKv {
+    env: Arc<dyn Env>,
+    root: PathBuf,
+    opts: UniKvOptions,
+    topts: TableOptions,
+    core: RwLock<DbCore>,
+    resolver: Arc<ValueResolver>,
+    fetch_pool: FetchPool,
+    stats: Arc<UniKvStats>,
+}
+
+impl UniKv {
+    /// Open (creating or recovering) a database under `root`.
+    pub fn open(env: Arc<dyn Env>, root: impl Into<PathBuf>, opts: UniKvOptions) -> Result<UniKv> {
+        opts.validate()?;
+        let root = root.into();
+        env.create_dir_all(&root)?;
+        let cache = (opts.block_cache_bytes > 0).then(|| BlockCache::new(opts.block_cache_bytes));
+        let topts = table_options(cache);
+
+        let meta_path = root.join("META");
+        let meta = if env.file_exists(&meta_path) {
+            DbMeta::decode(&env.read_to_vec(&meta_path)?)?
+        } else {
+            DbMeta::default()
+        };
+
+        // Inherited-log references across all partitions, used both for
+        // orphan sweeping and for keeping parent logs alive.
+        let inherited_refs: HashSet<(u32, u64)> = meta
+            .partitions
+            .iter()
+            .flat_map(|p| p.inherited_logs.iter())
+            .map(|r| (r.partition, r.log_number))
+            .collect();
+
+        let mut core = DbCore {
+            partitions: Vec::with_capacity(meta.partitions.len()),
+            next_partition: meta.next_partition,
+            next_file: meta.next_file,
+            last_seq: meta.last_sequence,
+        };
+
+        // Sweep orphans in every partition directory before opening logs
+        // (ValueLog::open adopts whatever *.vlog files it finds).
+        for name in env.list_dir(&root)? {
+            let Some(s) = name.to_str() else { continue };
+            let Some(id) = s.strip_prefix('p').and_then(|x| x.parse::<u32>().ok()) else {
+                continue;
+            };
+            let dir = partition_dir(&root, id);
+            let pmeta = meta.partitions.iter().find(|p| p.id == id);
+            sweep_partition_dir(env.as_ref(), &dir, id, pmeta, &inherited_refs)?;
+        }
+
+        let stats = Arc::new(UniKvStats::default());
+        let mut last_seq = meta.last_sequence;
+        let mut stale_wals = Vec::new();
+        let mut next_file = core.next_file;
+        for pmeta in &meta.partitions {
+            let (p, stale) = open_partition(
+                &env,
+                &root,
+                &opts,
+                &topts,
+                pmeta,
+                &mut last_seq,
+                &mut next_file,
+            )?;
+            core.partitions.push(p);
+            stale_wals.extend(stale);
+        }
+        core.last_seq = last_seq;
+        core.next_file = next_file;
+        core.partitions.sort_by(|a, b| a.meta.lo.cmp(&b.meta.lo));
+
+        let db = UniKv {
+            resolver: Arc::new(ValueResolver::new(env.clone(), root.clone())),
+            fetch_pool: FetchPool::new(opts.value_fetch_threads),
+            env,
+            root,
+            opts,
+            topts,
+            core: RwLock::new(core),
+            stats,
+        };
+
+        // Flush any memtable rebuilt from a WAL so the on-disk state is
+        // self-describing, then persist a fresh META (also covers the
+        // fresh-database case). Replayed WAL files can go once their
+        // contents are in flushed tables.
+        {
+            let mut core = db.core.write();
+            for i in 0..core.partitions.len() {
+                if !core.partitions[i].mem.is_empty() {
+                    db.flush_partition(&mut core, i)?;
+                }
+            }
+            db.commit_meta(&core)?;
+            for path in stale_wals {
+                if db.env.file_exists(&path) {
+                    db.env.delete_file(&path)?;
+                }
+            }
+        }
+        Ok(db)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &UniKvStats {
+        &self.stats
+    }
+
+    /// Options this database was opened with.
+    pub fn options(&self) -> &UniKvOptions {
+        &self.opts
+    }
+
+    /// Number of partitions (grows via dynamic range partitioning).
+    pub fn partition_count(&self) -> usize {
+        self.core.read().partitions.len()
+    }
+
+    /// The current partition boundary keys (`lo` of each partition).
+    pub fn partition_boundaries(&self) -> Vec<Vec<u8>> {
+        self.core
+            .read()
+            .partitions
+            .iter()
+            .map(|p| p.meta.lo.clone())
+            .collect()
+    }
+
+    /// Total bytes of in-memory hash-index entries across partitions
+    /// (experiment E12).
+    pub fn index_memory_bytes(&self) -> usize {
+        self.core
+            .read()
+            .partitions
+            .iter()
+            .map(|p| p.index.memory_bytes())
+            .sum()
+    }
+
+    /// Total logical bytes stored (tables + live values).
+    pub fn logical_bytes(&self) -> u64 {
+        self.core
+            .read()
+            .partitions
+            .iter()
+            .map(|p| p.logical_size())
+            .sum()
+    }
+
+    /// Last committed sequence number.
+    pub fn last_sequence(&self) -> SequenceNumber {
+        self.core.read().last_seq
+    }
+
+    /// Insert or update `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.write(key, value, ValueType::Value)
+    }
+
+    /// Delete `key`.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.write(key, b"", ValueType::Deletion)
+    }
+
+    fn write(&self, key: &[u8], value: &[u8], t: ValueType) -> Result<()> {
+        if key.is_empty() {
+            return Err(Error::invalid_argument("empty keys are not supported"));
+        }
+        let mut core = self.core.write();
+        core.last_seq += 1;
+        let seq = core.last_seq;
+        let pidx = core.route(key);
+        let p = &mut core.partitions[pidx];
+        let op = [(t, key.to_vec(), value.to_vec())];
+        p.wal.add_record(&encode_batch_record(seq, &op))?;
+        if self.opts.sync_writes {
+            p.wal.sync()?;
+        }
+        // Memtable values carry the SeparatedValue slot encoding so every
+        // store tier speaks the same value format.
+        let slot = SeparatedValue::Inline(value.to_vec()).encode();
+        p.mem.add(seq, t, key, &slot);
+        UniKvStats::add(
+            &self.stats.user_bytes_written,
+            (key.len() + value.len()) as u64,
+        );
+        if p.mem.approximate_memory_usage() >= self.opts.write_buffer_size {
+            self.flush_partition(&mut core, pidx)?;
+            self.run_triggers(&mut core, pidx)?;
+        }
+        Ok(())
+    }
+
+    /// Apply `batch` atomically: each partition's slice of the batch is
+    /// one WAL record, and all slices are logged (and synced, when
+    /// `sync_writes` is on) before any becomes visible via flush.
+    pub fn write_batch(&self, batch: &WriteBatch) -> Result<()> {
+        batch.validate()?;
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut core = self.core.write();
+        // Assign sequences in batch order, grouped per partition.
+        let base = core.last_seq + 1;
+        core.last_seq += batch.ops.len() as u64;
+        let mut per_partition: Vec<Vec<(u64, ValueType, Vec<u8>, Vec<u8>)>> =
+            vec![Vec::new(); core.partitions.len()];
+        for (i, (t, k, v)) in batch.ops.iter().enumerate() {
+            let pidx = core.route(k);
+            per_partition[pidx].push((base + i as u64, *t, k.clone(), v.clone()));
+        }
+        // Log every slice first (failure before visibility), then apply.
+        for (pidx, slice) in per_partition.iter().enumerate() {
+            if slice.is_empty() {
+                continue;
+            }
+            let ops: Vec<(ValueType, Vec<u8>, Vec<u8>)> = slice
+                .iter()
+                .map(|(_, t, k, v)| (*t, k.clone(), v.clone()))
+                .collect();
+            let p = &mut core.partitions[pidx];
+            p.wal.add_record(&encode_batch_record(slice[0].0, &ops))?;
+            if self.opts.sync_writes {
+                p.wal.sync()?;
+            }
+        }
+        for (pidx, slice) in per_partition.iter().enumerate() {
+            for (seq, t, k, v) in slice {
+                let slot = SeparatedValue::Inline(v.clone()).encode();
+                core.partitions[pidx].mem.add(*seq, *t, k, &slot);
+                UniKvStats::add(
+                    &self.stats.user_bytes_written,
+                    (k.len() + v.len()) as u64,
+                );
+            }
+        }
+        for pidx in 0..core.partitions.len() {
+            if core.partitions[pidx].mem.approximate_memory_usage()
+                >= self.opts.write_buffer_size
+            {
+                self.flush_partition(&mut core, pidx)?;
+                self.run_triggers(&mut core, pidx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Force all memtables to disk.
+    pub fn flush(&self) -> Result<()> {
+        let mut core = self.core.write();
+        for i in 0..core.partitions.len() {
+            if !core.partitions[i].mem.is_empty() {
+                self.flush_partition(&mut core, i)?;
+            }
+        }
+        for i in 0..core.partitions.len() {
+            self.run_triggers(&mut core, i)?;
+        }
+        Ok(())
+    }
+
+    /// Force a full merge (UnsortedStore → SortedStore) in every partition.
+    pub fn compact_all(&self) -> Result<()> {
+        let mut core = self.core.write();
+        for i in 0..core.partitions.len() {
+            if !core.partitions[i].mem.is_empty() {
+                self.flush_partition(&mut core, i)?;
+            }
+            if !core.partitions[i].meta.unsorted.is_empty() {
+                self.merge_partition(&mut core, i)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run GC on every partition regardless of the garbage ratio
+    /// (test/maintenance hook).
+    pub fn force_gc(&self) -> Result<()> {
+        let mut core = self.core.write();
+        for i in 0..core.partitions.len() {
+            self.gc_partition(&mut core, i)?;
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Reads
+    // ---------------------------------------------------------------
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let core = self.core.read();
+        let snapshot = core.last_seq;
+        let p = &core.partitions[core.route(key)];
+
+        // 1. Memtable.
+        match p.mem.get(key, snapshot) {
+            LookupResult::Value(slot) => {
+                UniKvStats::add(&self.stats.memtable_hits, 1);
+                return self.resolve_slot(&slot).map(Some);
+            }
+            LookupResult::Deleted => {
+                UniKvStats::add(&self.stats.memtable_hits, 1);
+                return Ok(None);
+            }
+            LookupResult::NotFound => {}
+        }
+
+        let seek_key = make_internal_key(key, snapshot, ValueType::Value);
+
+        // 2. UnsortedStore via the hash index (or a newest-first table scan
+        //    when the index is disabled — ablation E7).
+        if self.opts.enable_hash_index {
+            for table_id in p.index.candidates(key) {
+                let Some(tmeta) = p.meta.unsorted.iter().find(|t| t.number == table_id as u64)
+                else {
+                    continue; // stale entry for an already-merged table
+                };
+                match self.probe_table(p, tmeta, &seek_key, key)? {
+                    Probe::Value(slot) => return self.resolve_slot(&slot).map(Some),
+                    Probe::Tombstone => return Ok(None),
+                    Probe::Miss => {
+                        UniKvStats::add(&self.stats.index_false_positives, 1);
+                    }
+                }
+            }
+        } else {
+            for tmeta in p.unsorted_newest_first() {
+                if extract_user_key(&tmeta.smallest) > key
+                    || extract_user_key(&tmeta.largest) < key
+                {
+                    continue;
+                }
+                match self.probe_table(p, tmeta, &seek_key, key)? {
+                    Probe::Value(slot) => return self.resolve_slot(&slot).map(Some),
+                    Probe::Tombstone => return Ok(None),
+                    Probe::Miss => {}
+                }
+            }
+        }
+
+        // 3. SortedStore: binary search over boundary keys — at most one
+        //    table, at most one data block.
+        if let Some(tmeta) = p.sorted_table_for(key) {
+            match self.probe_table(p, tmeta, &seek_key, key)? {
+                Probe::Value(slot) => return self.resolve_slot(&slot).map(Some),
+                Probe::Tombstone => return Ok(None),
+                Probe::Miss => {}
+            }
+        }
+        Ok(None)
+    }
+
+    fn probe_table(
+        &self,
+        p: &Partition,
+        tmeta: &TableMeta,
+        seek_key: &[u8],
+        user_key: &[u8],
+    ) -> Result<Probe> {
+        UniKvStats::add(&self.stats.tables_checked, 1);
+        let table = self.open_table(p, tmeta.number)?;
+        let Some((ikey, value)) = table.get(seek_key, None)? else {
+            return Ok(Probe::Miss);
+        };
+        if extract_user_key(&ikey) != user_key {
+            return Ok(Probe::Miss);
+        }
+        match extract_seq_type(&ikey)?.1 {
+            ValueType::Value => Ok(Probe::Value(value)),
+            ValueType::Deletion => Ok(Probe::Tombstone),
+        }
+    }
+
+    fn open_table(&self, p: &Partition, number: u64) -> Result<Arc<Table>> {
+        if let Some(t) = p.tables_guard().get(&number) {
+            return Ok(t.clone());
+        }
+        let path = filenames::table_file(&partition_dir(&self.root, p.meta.id), number);
+        let size = self.env.file_size(&path)?;
+        let table = Table::open(self.env.new_random_access(&path)?, size, self.topts.clone())?;
+        p.tables_guard().insert(number, table.clone());
+        Ok(table)
+    }
+
+    fn resolve_slot(&self, slot: &[u8]) -> Result<Vec<u8>> {
+        match SeparatedValue::decode(slot)? {
+            SeparatedValue::Inline(v) => Ok(v),
+            SeparatedValue::Pointer(ptr) => self.resolver.read(&ptr),
+        }
+    }
+
+    /// Range scan: up to `limit` live entries with `key >= from`.
+    pub fn scan(&self, from: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
+        self.scan_range(from, None, limit)
+    }
+
+    /// Range scan bounded above: up to `limit` live entries with
+    /// `from <= key < end` (`end = None` means unbounded).
+    pub fn scan_range(
+        &self,
+        from: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<ScanItem>> {
+        if let Some(end) = end {
+            if end <= from {
+                return Ok(Vec::new());
+            }
+        }
+        let core = self.core.read();
+        let snapshot = core.last_seq;
+        let start_idx = if from.is_empty() { 0 } else { core.route(from) };
+
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        let mut slots: Vec<Vec<u8>> = Vec::new();
+        'partitions: for p in &core.partitions[start_idx..] {
+            if keys.len() >= limit {
+                break;
+            }
+            if let Some(end) = end {
+                if p.meta.lo.as_slice() >= end {
+                    break;
+                }
+            }
+            let seek_from = if from > p.meta.lo.as_slice() {
+                from
+            } else {
+                p.meta.lo.as_slice()
+            };
+            let mut iter = self.partition_iter(p)?;
+            iter.seek(&make_internal_key(seek_from, snapshot, ValueType::Value))?;
+            let mut current_key: Option<Vec<u8>> = None;
+            while iter.valid() && keys.len() < limit {
+                let ikey = iter.ikey();
+                let user_key = extract_user_key(ikey);
+                if let Some(end) = end {
+                    if user_key >= end {
+                        break 'partitions;
+                    }
+                }
+                // Stay within the partition's range (lazy-split tables
+                // cannot leak keys, but the memtable could in theory).
+                if let Some(hi) = &p.meta.hi {
+                    if user_key >= hi.as_slice() {
+                        break;
+                    }
+                }
+                let (seq, t) = extract_seq_type(ikey)?;
+                if current_key.as_deref() != Some(user_key) && seq <= snapshot {
+                    current_key = Some(user_key.to_vec());
+                    if t == ValueType::Value {
+                        keys.push(user_key.to_vec());
+                        slots.push(iter.value().to_vec());
+                    }
+                }
+                iter.next()?;
+            }
+        }
+        drop(core);
+
+        // Resolve value slots; pointers fetched in parallel with readahead
+        // (scan optimization; sequential when disabled).
+        let mut out_values: Vec<Option<Vec<u8>>> = vec![None; slots.len()];
+        let mut jobs = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            match SeparatedValue::decode(slot)? {
+                SeparatedValue::Inline(v) => out_values[i] = Some(v),
+                SeparatedValue::Pointer(ptr) => jobs.push((i, ptr)),
+            }
+        }
+        let parallel = self.opts.enable_scan_optimization;
+        self.fetch_pool
+            .fetch(&self.resolver, &jobs, &mut out_values, parallel, parallel)?;
+
+        Ok(keys
+            .into_iter()
+            .zip(out_values)
+            .map(|(key, value)| ScanItem {
+                key,
+                value: value.expect("every slot resolved"),
+            })
+            .collect())
+    }
+
+    /// A streaming iterator over the whole database at the current
+    /// sequence number — the paper's seek()/next() scan interface. The
+    /// iterator holds table and memtable handles for every partition, so
+    /// it keeps reading a consistent snapshot while merges, GC, and
+    /// splits proceed.
+    pub fn iter(&self) -> Result<crate::iter::UniKvIterator> {
+        let core = self.core.read();
+        let snapshot = core.last_seq;
+        let mut parts = Vec::with_capacity(core.partitions.len());
+        let mut pinned = std::collections::HashMap::new();
+        for p in &core.partitions {
+            parts.push(crate::iter::PartitionCursor {
+                iter: self.partition_iter(p)?,
+                lo: p.meta.lo.clone(),
+                hi: p.meta.hi.clone(),
+            });
+            // Pin every log the partition's pointers may reference, so GC
+            // deleting files cannot invalidate this snapshot.
+            let refs = p
+                .meta
+                .own_logs
+                .iter()
+                .map(|&n| (p.meta.id, n))
+                .chain(
+                    p.meta
+                        .inherited_logs
+                        .iter()
+                        .map(|r| (r.partition, r.log_number)),
+                );
+            for (pid, log) in refs {
+                if let std::collections::hash_map::Entry::Vacant(e) = pinned.entry((pid, log)) {
+                    let path = partition_dir(&self.root, pid).join(vlog_file_name(log));
+                    e.insert(self.env.new_random_access(&path)?);
+                }
+            }
+        }
+        Ok(crate::iter::UniKvIterator::new(
+            parts,
+            snapshot,
+            self.resolver.clone(),
+            pinned,
+        ))
+    }
+
+    /// Merging iterator over one partition (memtable + UnsortedStore
+    /// tables + the SortedStore run).
+    fn partition_iter(&self, p: &Partition) -> Result<MergingIterator> {
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        children.push(Box::new(MemTableSource::new(p.mem.clone())));
+        for tmeta in &p.meta.unsorted {
+            let table = self.open_table(p, tmeta.number)?;
+            children.push(Box::new(TableSource::new(&table)));
+        }
+        let mut run = Vec::with_capacity(p.meta.sorted.len());
+        for tmeta in &p.meta.sorted {
+            run.push((tmeta.largest.clone(), self.open_table(p, tmeta.number)?));
+        }
+        children.push(Box::new(ConcatSource::new(run)));
+        Ok(MergingIterator::new(children))
+    }
+
+    // ---------------------------------------------------------------
+    // Structural operations
+    // ---------------------------------------------------------------
+
+    fn commit_meta(&self, core: &DbCore) -> Result<()> {
+        self.env
+            .write_atomic(&self.root.join("META"), &core.to_meta().encode())
+    }
+
+    /// Run post-flush triggers on partition `pidx`: size-based merge, full
+    /// merge, GC, split.
+    fn run_triggers(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        let (over_unsorted, over_scan_merge) = {
+            let p = &core.partitions[pidx];
+            (
+                p.unsorted_bytes() >= self.opts.unsorted_limit_bytes,
+                self.opts.enable_scan_optimization
+                    && p.meta.unsorted.len() >= self.opts.scan_merge_limit,
+            )
+        };
+        if over_unsorted {
+            self.merge_partition(core, pidx)?;
+        } else if over_scan_merge {
+            self.scan_merge_partition(core, pidx)?;
+        }
+        self.maybe_gc(core, pidx)?;
+        self.maybe_split(core, pidx)?;
+        Ok(())
+    }
+
+    /// Flush the partition's memtable into a new UnsortedStore table.
+    fn flush_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        let table_number = core.alloc_file();
+        let new_wal = core.alloc_file();
+        let p = &mut core.partitions[pidx];
+        if p.mem.is_empty() {
+            return Ok(());
+        }
+        p.wal.sync()?;
+        let imm = std::mem::replace(&mut p.mem, Arc::new(MemTable::new()));
+        let old_wal = p.meta.wal_number;
+        let dir = partition_dir(&self.root, p.meta.id);
+        p.wal = LogWriter::new(self.env.new_writable(&filenames::wal_file(&dir, new_wal))?);
+        p.meta.wal_number = new_wal;
+
+        // Write the table, deduping to the newest version per user key and
+        // feeding each kept key into the hash index.
+        let mut builder = TableBuilder::new(
+            self.env
+                .new_writable(&filenames::table_file(&dir, table_number))?,
+            self.table_builder_opts(),
+        );
+        let mut iter = MemTableSource::new(imm);
+        iter.seek_to_first()?;
+        let mut last_user_key: Option<Vec<u8>> = None;
+        while iter.valid() {
+            let user_key = extract_user_key(iter.ikey());
+            if last_user_key.as_deref() != Some(user_key) {
+                last_user_key = Some(user_key.to_vec());
+                builder.add(iter.ikey(), iter.value())?;
+                if self.opts.enable_hash_index {
+                    p.index.insert(user_key, table_number as u32);
+                }
+            }
+            iter.next()?;
+        }
+        let props = builder.finish()?;
+        UniKvStats::add(&self.stats.bytes_flushed, props.file_size);
+        UniKvStats::add(&self.stats.flushes, 1);
+        p.meta.unsorted.push(TableMeta {
+            number: table_number,
+            size: props.file_size,
+            smallest: props.smallest,
+            largest: props.largest,
+        });
+
+        // Periodic hash-index checkpoint (paper: every unsorted_limit/2
+        // flushes).
+        p.flushes_since_ckpt += 1;
+        if self.opts.enable_hash_index && checkpoint_due(&self.opts, p.flushes_since_ckpt) {
+            self.env
+                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
+            p.meta.ckpt_tables = p.meta.unsorted.iter().map(|t| t.number).collect();
+            p.flushes_since_ckpt = 0;
+        }
+
+        self.commit_meta(core)?;
+        let p = &core.partitions[pidx];
+        let dir = partition_dir(&self.root, p.meta.id);
+        // Old WAL is obsolete once META names the new one.
+        let old = filenames::wal_file(&dir, old_wal);
+        if self.env.file_exists(&old) {
+            self.env.delete_file(&old)?;
+        }
+        Ok(())
+    }
+
+    fn table_builder_opts(&self) -> TableBuilderOptions {
+        TableBuilderOptions {
+            block_size: self.opts.block_size,
+            bloom_bits_per_key: None, // UniKV removes Bloom filters
+            ..Default::default()
+        }
+    }
+
+    /// Merge the UnsortedStore into the SortedStore with partial KV
+    /// separation: fresh (inline) values move to a new value log; values
+    /// already separated keep their pointers and are NOT rewritten.
+    fn merge_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        let start_file = core.next_file;
+        let mut used = 0u64;
+        let DbCore {
+            partitions,
+            next_file,
+            ..
+        } = core;
+        let p = &mut partitions[pidx];
+        if p.meta.unsorted.is_empty() && p.meta.sorted.is_empty() {
+            return Ok(());
+        }
+        let dir = partition_dir(&self.root, p.meta.id);
+        let input_bytes = p.unsorted_bytes() + p.sorted_bytes();
+
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        for tmeta in &p.meta.unsorted {
+            let table = self.open_table(p, tmeta.number)?;
+            children.push(Box::new(TableSource::new(&table)));
+        }
+        let mut run = Vec::with_capacity(p.meta.sorted.len());
+        for tmeta in &p.meta.sorted {
+            run.push((tmeta.largest.clone(), self.open_table(p, tmeta.number)?));
+        }
+        children.push(Box::new(ConcatSource::new(run)));
+        let mut iter = MergingIterator::new(children);
+        iter.seek_to_first()?;
+
+        if self.opts.enable_kv_separation {
+            p.vlog.rotate()?; // new values go to a freshly created log
+        }
+        let mut new_tables: Vec<TableMeta> = Vec::new();
+        let mut builder: Option<TableBuilder> = None;
+        let mut written = 0u64;
+        let mut live_value_bytes = 0u64;
+        let mut last_user_key: Option<Vec<u8>> = None;
+        while iter.valid() {
+            let ikey = iter.ikey().to_vec();
+            let user_key = extract_user_key(&ikey);
+            let (_, vt) = extract_seq_type(&ikey)?;
+            let is_newest = last_user_key.as_deref() != Some(user_key);
+            if is_newest {
+                last_user_key = Some(user_key.to_vec());
+                // The SortedStore is the bottom tier: tombstones have done
+                // their shadowing job and are dropped here.
+                if vt == ValueType::Value {
+                    let slot = match SeparatedValue::decode(iter.value())? {
+                        SeparatedValue::Inline(v) if self.opts.enable_kv_separation => {
+                            let ptr = p.vlog.append(&v)?;
+                            written += v.len() as u64;
+                            live_value_bytes += ptr.length as u64;
+                            SeparatedValue::Pointer(ptr)
+                        }
+                        inline @ SeparatedValue::Inline(_) => inline,
+                        SeparatedValue::Pointer(ptr) => {
+                            live_value_bytes += ptr.length as u64;
+                            SeparatedValue::Pointer(ptr)
+                        }
+                    };
+                    if builder.is_none() {
+                        let number = start_file + used;
+                        used += 1;
+                        builder = Some(TableBuilder::new(
+                            self.env
+                                .new_writable(&filenames::table_file(&dir, number))?,
+                            self.table_builder_opts(),
+                        ));
+                        new_tables.push(TableMeta {
+                            number,
+                            size: 0,
+                            smallest: Vec::new(),
+                            largest: Vec::new(),
+                        });
+                    }
+                    let b = builder.as_mut().expect("created above");
+                    b.add(&ikey, &slot.encode())?;
+                    if b.estimated_size() >= self.opts.table_size as u64 {
+                        let props = builder.take().expect("present").finish()?;
+                        written += props.file_size;
+                        let t = new_tables.last_mut().expect("pushed");
+                        t.size = props.file_size;
+                        t.smallest = props.smallest;
+                        t.largest = props.largest;
+                    }
+                }
+            }
+            iter.next()?;
+        }
+        if let Some(b) = builder.take() {
+            let props = b.finish()?;
+            written += props.file_size;
+            let t = new_tables.last_mut().expect("pushed");
+            t.size = props.file_size;
+            t.smallest = props.smallest;
+            t.largest = props.largest;
+        }
+        *next_file = start_file + used;
+        p.vlog.sync()?;
+
+        UniKvStats::add(&self.stats.merge_bytes_read, input_bytes);
+        UniKvStats::add(&self.stats.merge_bytes_written, written);
+        UniKvStats::add(&self.stats.merges, 1);
+
+        // Swap the tiers: UnsortedStore empties; the hash index resets.
+        let old_tables: Vec<TableMeta> = p
+            .meta
+            .unsorted
+            .drain(..)
+            .chain(p.meta.sorted.drain(..))
+            .collect();
+        p.meta.sorted = new_tables;
+        p.meta.own_logs = p.vlog.log_numbers();
+        p.meta.live_value_bytes = live_value_bytes;
+        p.index.clear();
+        p.meta.ckpt_tables.clear();
+        p.flushes_since_ckpt = 0;
+        if self.opts.enable_hash_index {
+            self.env
+                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
+        }
+
+        self.commit_meta(core)?;
+        let p = &mut core.partitions[pidx];
+        let dir = partition_dir(&self.root, p.meta.id);
+        for t in old_tables {
+            p.evict_table(t.number);
+            self.env.delete_file(&filenames::table_file(&dir, t.number))?;
+        }
+        Ok(())
+    }
+
+    /// Size-based merge (scan optimization): collapse all UnsortedStore
+    /// tables into one globally sorted UnsortedStore table — values stay
+    /// inline, the tier stays hash-indexed, scans stop paying one seek per
+    /// overlapping table.
+    fn scan_merge_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        let table_number = core.alloc_file();
+        let p = &mut core.partitions[pidx];
+        if p.meta.unsorted.len() < 2 {
+            return Ok(());
+        }
+        let dir = partition_dir(&self.root, p.meta.id);
+
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        for tmeta in &p.meta.unsorted {
+            let table = self.open_table(p, tmeta.number)?;
+            children.push(Box::new(TableSource::new(&table)));
+        }
+        let mut iter = MergingIterator::new(children);
+        iter.seek_to_first()?;
+
+        let mut builder = TableBuilder::new(
+            self.env
+                .new_writable(&filenames::table_file(&dir, table_number))?,
+            self.table_builder_opts(),
+        );
+        let mut new_index = TwoLevelHashIndex::with_capacity(
+            index_capacity(&self.opts),
+            self.opts.num_hashes,
+        );
+        let mut last_user_key: Option<Vec<u8>> = None;
+        while iter.valid() {
+            let user_key = extract_user_key(iter.ikey());
+            if last_user_key.as_deref() != Some(user_key) {
+                last_user_key = Some(user_key.to_vec());
+                // Tombstones stay: the SortedStore below still holds older
+                // versions they must shadow.
+                builder.add(iter.ikey(), iter.value())?;
+                if self.opts.enable_hash_index {
+                    new_index.insert(user_key, table_number as u32);
+                }
+            }
+            iter.next()?;
+        }
+        let props = builder.finish()?;
+        UniKvStats::add(&self.stats.merge_bytes_written, props.file_size);
+        UniKvStats::add(&self.stats.scan_merges, 1);
+
+        let old_tables = std::mem::replace(
+            &mut p.meta.unsorted,
+            vec![TableMeta {
+                number: table_number,
+                size: props.file_size,
+                smallest: props.smallest,
+                largest: props.largest,
+            }],
+        );
+        p.index = new_index;
+        if self.opts.enable_hash_index {
+            self.env
+                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
+            p.meta.ckpt_tables = vec![table_number];
+            p.flushes_since_ckpt = 0;
+        }
+
+        self.commit_meta(core)?;
+        let p = &mut core.partitions[pidx];
+        let dir = partition_dir(&self.root, p.meta.id);
+        for t in old_tables {
+            p.evict_table(t.number);
+            self.env.delete_file(&filenames::table_file(&dir, t.number))?;
+        }
+        Ok(())
+    }
+
+    fn maybe_gc(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        let (total, garbage) = {
+            let p = &core.partitions[pidx];
+            let mut total = p.vlog.total_size();
+            // Logs shared with a split sibling are charged at 50%: roughly
+            // half their bytes belong to this partition, so the garbage
+            // ratio stays meaningful and a fresh split does not look like
+            // instant garbage. The lazy value split rides on the first GC
+            // that real churn triggers, as the paper intends.
+            for r in &p.meta.inherited_logs {
+                let path =
+                    partition_dir(&self.root, r.partition).join(vlog_file_name(r.log_number));
+                total += self.env.file_size(&path).unwrap_or(0) / 2;
+            }
+            let garbage = total.saturating_sub(p.meta.live_value_bytes);
+            (total, garbage)
+        };
+        if total < self.opts.gc_min_bytes {
+            return Ok(());
+        }
+        let ratio = garbage as f64 / total.max(1) as f64;
+        if ratio >= self.opts.gc_garbage_ratio {
+            self.gc_partition(core, pidx)?;
+        }
+        Ok(())
+    }
+
+    /// Garbage-collect the partition's value logs: rewrite every live
+    /// value (identified by scanning the SortedStore keys+pointers — no
+    /// index queries, unlike WiscKey) into fresh logs, rewrite the
+    /// SortedStore with the new pointers, drop old and inherited logs.
+    /// Also performs the lazy value split after a partition split.
+    fn gc_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        let start_file = core.next_file;
+        let mut used = 0u64;
+        let DbCore {
+            partitions,
+            next_file,
+            ..
+        } = core;
+        let p = &mut partitions[pidx];
+        if p.meta.sorted.is_empty() && p.meta.inherited_logs.is_empty() {
+            // No pointers can exist; every own log is garbage.
+            let dead: Vec<u64> = p.vlog.log_numbers();
+            if !dead.is_empty() {
+                for n in &dead {
+                    self.resolver.evict(p.meta.id, *n);
+                }
+                p.vlog.delete_logs(&dead)?;
+                p.meta.own_logs.clear();
+                self.commit_meta(core)?;
+            }
+            return Ok(());
+        }
+        let dir = partition_dir(&self.root, p.meta.id);
+        let old_logs: Vec<u64> = p.vlog.log_numbers();
+        let old_inherited = std::mem::take(&mut p.meta.inherited_logs);
+
+        // Step 1+2 of the paper's protocol: identify valid values by
+        // scanning the SortedStore in key order, read them, and append to
+        // a newly created log.
+        p.vlog.rotate()?;
+        let mut run = Vec::with_capacity(p.meta.sorted.len());
+        for tmeta in &p.meta.sorted {
+            run.push((tmeta.largest.clone(), self.open_table(p, tmeta.number)?));
+        }
+        let mut iter = ConcatSource::new(run);
+        iter.seek_to_first()?;
+
+        let mut builder: Option<TableBuilder> = None;
+        let mut new_tables: Vec<TableMeta> = Vec::new();
+        let mut written = 0u64;
+        let mut live_value_bytes = 0u64;
+        while iter.valid() {
+            let ikey = iter.ikey().to_vec();
+            let slot = match SeparatedValue::decode(iter.value())? {
+                SeparatedValue::Pointer(ptr) => {
+                    let value = self.resolver.read(&ptr)?;
+                    let new_ptr = p.vlog.append(&value)?;
+                    written += value.len() as u64;
+                    live_value_bytes += new_ptr.length as u64;
+                    SeparatedValue::Pointer(new_ptr)
+                }
+                inline => inline,
+            };
+            if builder.is_none() {
+                let number = start_file + used;
+                used += 1;
+                builder = Some(TableBuilder::new(
+                    self.env
+                        .new_writable(&filenames::table_file(&dir, number))?,
+                    self.table_builder_opts(),
+                ));
+                new_tables.push(TableMeta {
+                    number,
+                    size: 0,
+                    smallest: Vec::new(),
+                    largest: Vec::new(),
+                });
+            }
+            let b = builder.as_mut().expect("created above");
+            // Step 3: write keys with their new pointers back to SSTables.
+            b.add(&ikey, &slot.encode())?;
+            if b.estimated_size() >= self.opts.table_size as u64 {
+                let props = builder.take().expect("present").finish()?;
+                written += props.file_size;
+                let t = new_tables.last_mut().expect("pushed");
+                t.size = props.file_size;
+                t.smallest = props.smallest;
+                t.largest = props.largest;
+            }
+            iter.next()?;
+        }
+        if let Some(b) = builder.take() {
+            let props = b.finish()?;
+            written += props.file_size;
+            let t = new_tables.last_mut().expect("pushed");
+            t.size = props.file_size;
+            t.smallest = props.smallest;
+            t.largest = props.largest;
+        }
+        *next_file = start_file + used;
+        p.vlog.sync()?;
+
+        UniKvStats::add(&self.stats.gc_bytes_written, written);
+        UniKvStats::add(&self.stats.gcs, 1);
+
+        let old_tables = std::mem::replace(&mut p.meta.sorted, new_tables);
+        let new_logs: Vec<u64> = p
+            .vlog
+            .log_numbers()
+            .into_iter()
+            .filter(|n| !old_logs.contains(n))
+            .collect();
+        p.meta.own_logs = new_logs;
+        p.meta.live_value_bytes = live_value_bytes;
+
+        // Step 4: the META commit is the GC_done mark; afterwards old logs
+        // and tables may be deleted.
+        self.commit_meta(core)?;
+        let p = &mut core.partitions[pidx];
+        let dir = partition_dir(&self.root, p.meta.id);
+        for t in old_tables {
+            p.evict_table(t.number);
+            self.env.delete_file(&filenames::table_file(&dir, t.number))?;
+        }
+        for n in &old_logs {
+            self.resolver.evict(p.meta.id, *n);
+        }
+        let p = &mut core.partitions[pidx];
+        p.vlog.delete_logs(&old_logs)?;
+        self.sweep_shared_logs(core, &old_inherited)?;
+        Ok(())
+    }
+
+    /// Delete formerly-inherited log files that no partition references
+    /// anymore.
+    fn sweep_shared_logs(&self, core: &DbCore, candidates: &[LogRef]) -> Result<()> {
+        for r in candidates {
+            let still_referenced = core.partitions.iter().any(|p| {
+                (p.meta.id == r.partition && p.meta.own_logs.contains(&r.log_number))
+                    || p.meta.inherited_logs.contains(r)
+            });
+            if !still_referenced {
+                let path =
+                    partition_dir(&self.root, r.partition).join(vlog_file_name(r.log_number));
+                if self.env.file_exists(&path) {
+                    self.resolver.evict(r.partition, r.log_number);
+                    self.env.delete_file(&path)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn maybe_split(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        if !self.opts.enable_partitioning {
+            return Ok(());
+        }
+        if core.partitions[pidx].logical_size() <= self.opts.partition_size_limit {
+            return Ok(());
+        }
+        self.split_partition(core, pidx)
+    }
+
+    /// Dynamic range partitioning: split partition `pidx` at its median
+    /// key into two partitions with disjoint ranges. Keys are split
+    /// eagerly (full merge-sort); values already in logs are shared with
+    /// the children and split lazily by their future GCs.
+    fn split_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        // The paper locks the partition and flushes its memtable first; our
+        // global write lock subsumes the partition lock.
+        if !core.partitions[pidx].mem.is_empty() {
+            self.flush_partition(core, pidx)?;
+        }
+
+        // Pass 1: count live entries to find the median split point.
+        let total = {
+            let p = &core.partitions[pidx];
+            let mut iter = self.merged_partition_tables_iter(p)?;
+            iter.seek_to_first()?;
+            let mut count = 0u64;
+            let mut last_user_key: Option<Vec<u8>> = None;
+            while iter.valid() {
+                let user_key = extract_user_key(iter.ikey());
+                let (_, vt) = extract_seq_type(iter.ikey())?;
+                if last_user_key.as_deref() != Some(user_key) {
+                    last_user_key = Some(user_key.to_vec());
+                    if vt == ValueType::Value {
+                        count += 1;
+                    }
+                }
+                iter.next()?;
+            }
+            count
+        };
+        if total < 2 {
+            return Ok(()); // cannot split fewer than two keys
+        }
+        let half = total / 2;
+
+        // Allocate children. Table numbers for the split outputs come from
+        // a local bump allocator reconciled into `core.next_file` after the
+        // pass (the pass holds an immutable borrow of the parent).
+        let left_id = core.next_partition;
+        let right_id = core.next_partition + 1;
+        core.next_partition += 2;
+        let left_wal = core.alloc_file();
+        let right_wal = core.alloc_file();
+        let split_file_start = core.next_file;
+        let mut split_files_used = 0u64;
+
+        let parent_lo = core.partitions[pidx].meta.lo.clone();
+        let parent_hi = core.partitions[pidx].meta.hi.clone();
+        let parent_id = core.partitions[pidx].meta.id;
+        let parent_logs: Vec<LogRef> = {
+            let p = &core.partitions[pidx];
+            p.meta
+                .own_logs
+                .iter()
+                .map(|&n| LogRef {
+                    partition: parent_id,
+                    log_number: n,
+                })
+                .chain(p.meta.inherited_logs.iter().copied())
+                .collect()
+        };
+
+        // Pass 2: stream entries into the two children.
+        struct ChildBuild {
+            id: u32,
+            dir: PathBuf,
+            vlog: ValueLog,
+            tables: Vec<TableMeta>,
+            builder: Option<TableBuilder>,
+            live_value_bytes: u64,
+            inherited: HashSet<LogRef>,
+            written: u64,
+        }
+        let mk_child = |id: u32| -> Result<ChildBuild> {
+            let dir = partition_dir(&self.root, id);
+            self.env.create_dir_all(&dir)?;
+            Ok(ChildBuild {
+                id,
+                dir: dir.clone(),
+                vlog: ValueLog::open(self.env.clone(), dir, id, self.opts.max_log_size)?,
+                tables: Vec::new(),
+                builder: None,
+                live_value_bytes: 0,
+                inherited: HashSet::new(),
+                written: 0,
+            })
+        };
+        let mut left = mk_child(left_id)?;
+        let mut right = mk_child(right_id)?;
+        let mut boundary: Option<Vec<u8>> = None;
+
+        {
+            let p = &core.partitions[pidx];
+            let mut iter = self.merged_partition_tables_iter(p)?;
+            iter.seek_to_first()?;
+            let mut last_user_key: Option<Vec<u8>> = None;
+            let mut kept = 0u64;
+            while iter.valid() {
+                let ikey = iter.ikey().to_vec();
+                let user_key = extract_user_key(&ikey).to_vec();
+                let (_, vt) = extract_seq_type(&ikey)?;
+                let is_newest = last_user_key.as_deref() != Some(user_key.as_slice());
+                if is_newest {
+                    last_user_key = Some(user_key.clone());
+                    if vt == ValueType::Value {
+                        let child = if kept < half {
+                            &mut left
+                        } else {
+                            if boundary.is_none() {
+                                boundary = Some(user_key.clone());
+                            }
+                            &mut right
+                        };
+                        kept += 1;
+                        let slot = match SeparatedValue::decode(iter.value())? {
+                            // Paper: UnsortedStore (inline) values are
+                            // split eagerly into each child's new log...
+                            SeparatedValue::Inline(v) if self.opts.enable_kv_separation => {
+                                let ptr = child.vlog.append(&v)?;
+                                child.written += v.len() as u64;
+                                child.live_value_bytes += ptr.length as u64;
+                                SeparatedValue::Pointer(ptr)
+                            }
+                            inline @ SeparatedValue::Inline(_) => inline,
+                            // ...while already-separated values stay in the
+                            // parent's logs, shared until lazy GC.
+                            SeparatedValue::Pointer(ptr) => {
+                                child.inherited.insert(LogRef {
+                                    partition: ptr.partition,
+                                    log_number: ptr.log_number,
+                                });
+                                child.live_value_bytes += ptr.length as u64;
+                                SeparatedValue::Pointer(ptr)
+                            }
+                        };
+                        if child.builder.is_none() {
+                            let number = split_file_start + split_files_used;
+                            split_files_used += 1;
+                            child.builder = Some(TableBuilder::new(
+                                self.env.new_writable(&filenames::table_file(
+                                    &child.dir, number,
+                                ))?,
+                                self.table_builder_opts(),
+                            ));
+                            child.tables.push(TableMeta {
+                                number,
+                                size: 0,
+                                smallest: Vec::new(),
+                                largest: Vec::new(),
+                            });
+                        }
+                        let b = child.builder.as_mut().expect("created above");
+                        b.add(&ikey, &slot.encode())?;
+                        if b.estimated_size() >= self.opts.table_size as u64 {
+                            let props = child.builder.take().expect("present").finish()?;
+                            child.written += props.file_size;
+                            let t = child.tables.last_mut().expect("pushed");
+                            t.size = props.file_size;
+                            t.smallest = props.smallest;
+                            t.largest = props.largest;
+                        }
+                    }
+                }
+                iter.next()?;
+            }
+        }
+        for child in [&mut left, &mut right] {
+            if let Some(b) = child.builder.take() {
+                let props = b.finish()?;
+                child.written += props.file_size;
+                let t = child.tables.last_mut().expect("pushed");
+                t.size = props.file_size;
+                t.smallest = props.smallest;
+                t.largest = props.largest;
+            }
+            child.vlog.sync()?;
+        }
+        let boundary = boundary.expect("total >= 2 guarantees a right half");
+
+        UniKvStats::add(
+            &self.stats.split_bytes_written,
+            left.written + right.written,
+        );
+        UniKvStats::add(&self.stats.splits, 1);
+
+        // Build the child partitions and swap them in.
+        let build_partition = |child: ChildBuild,
+                               lo: Vec<u8>,
+                               hi: Option<Vec<u8>>,
+                               wal_number: u64|
+         -> Result<Partition> {
+            let own_logs = child.vlog.log_numbers();
+            let wal = LogWriter::new(
+                self.env
+                    .new_writable(&filenames::wal_file(&child.dir, wal_number))?,
+            );
+            Ok(Partition {
+                meta: PartitionMeta {
+                    id: child.id,
+                    lo,
+                    hi,
+                    wal_number,
+                    unsorted: Vec::new(),
+                    sorted: child.tables,
+                    own_logs,
+                    inherited_logs: child.inherited.into_iter().collect(),
+                    ckpt_tables: Vec::new(),
+                    live_value_bytes: child.live_value_bytes,
+                },
+                mem: Arc::new(MemTable::new()),
+                wal,
+                index: TwoLevelHashIndex::with_capacity(
+                    index_capacity(&self.opts),
+                    self.opts.num_hashes,
+                ),
+                vlog: child.vlog,
+                tables: parking_lot::Mutex::new(std::collections::HashMap::new()),
+                flushes_since_ckpt: 0,
+            })
+        };
+        let left_p = build_partition(left, parent_lo, Some(boundary.clone()), left_wal)?;
+        let right_p = build_partition(right, boundary, parent_hi, right_wal)?;
+
+        let parent = std::mem::replace(&mut core.partitions[pidx], left_p);
+        core.partitions.insert(pidx + 1, right_p);
+        core.next_file = split_file_start + split_files_used;
+
+        self.commit_meta(core)?;
+
+        // Delete the parent's table files, WAL, and index checkpoint; keep
+        // its value logs (now shared with the children, freed by lazy GC).
+        let parent_dir = partition_dir(&self.root, parent.meta.id);
+        for t in parent.meta.unsorted.iter().chain(&parent.meta.sorted) {
+            let path = filenames::table_file(&parent_dir, t.number);
+            if self.env.file_exists(&path) {
+                self.env.delete_file(&path)?;
+            }
+        }
+        let wal_path = filenames::wal_file(&parent_dir, parent.meta.wal_number);
+        if self.env.file_exists(&wal_path) {
+            self.env.delete_file(&wal_path)?;
+        }
+        let ckpt = parent_dir.join(INDEX_CKPT);
+        if self.env.file_exists(&ckpt) {
+            self.env.delete_file(&ckpt)?;
+        }
+        // Parent logs with no surviving references can go immediately.
+        self.sweep_shared_logs(core, &parent_logs)?;
+        Ok(())
+    }
+
+    /// Merging iterator over a partition's tables only (no memtable) —
+    /// split passes run after an explicit flush.
+    fn merged_partition_tables_iter(&self, p: &Partition) -> Result<MergingIterator> {
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        for tmeta in &p.meta.unsorted {
+            let table = self.open_table(p, tmeta.number)?;
+            children.push(Box::new(TableSource::new(&table)));
+        }
+        let mut run = Vec::with_capacity(p.meta.sorted.len());
+        for tmeta in &p.meta.sorted {
+            run.push((tmeta.largest.clone(), self.open_table(p, tmeta.number)?));
+        }
+        children.push(Box::new(ConcatSource::new(run)));
+        Ok(MergingIterator::new(children))
+    }
+}
+
+enum Probe {
+    Value(Vec<u8>),
+    Tombstone,
+    Miss,
+}
+
+/// Expected hash-index key capacity derived from the UnsortedStore budget
+/// (assume ≥ 64 B per KV; overflow chains absorb denser data gracefully).
+fn index_capacity(opts: &UniKvOptions) -> usize {
+    (opts.unsorted_limit_bytes as usize / 64).max(256)
+}
+
+fn sweep_partition_dir(
+    env: &dyn Env,
+    dir: &Path,
+    id: u32,
+    pmeta: Option<&PartitionMeta>,
+    inherited_refs: &HashSet<(u32, u64)>,
+) -> Result<()> {
+    let live_tables: HashSet<u64> = pmeta
+        .map(|m| m.unsorted.iter().chain(&m.sorted).map(|t| t.number).collect())
+        .unwrap_or_default();
+    let live_logs: HashSet<u64> = pmeta
+        .map(|m| m.own_logs.iter().copied().collect())
+        .unwrap_or_default();
+    let wal_number = pmeta.map(|m| m.wal_number);
+    for name in env.list_dir(dir)? {
+        let Some(s) = name.to_str() else { continue };
+        if s == INDEX_CKPT {
+            if pmeta.is_none() {
+                env.delete_file(&dir.join(name))?;
+            }
+            continue;
+        }
+        if let Some(log) = parse_vlog_file_name(s) {
+            let keep = live_logs.contains(&log) || inherited_refs.contains(&(id, log));
+            if !keep {
+                env.delete_file(&dir.join(name))?;
+            }
+            continue;
+        }
+        match filenames::parse_file_name(s) {
+            Some(filenames::FileKind::Table(n)) => {
+                if !live_tables.contains(&n) {
+                    env.delete_file(&dir.join(name))?;
+                }
+            }
+            Some(filenames::FileKind::Wal(n)) => {
+                if wal_number != Some(n) {
+                    env.delete_file(&dir.join(name))?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn open_partition(
+    env: &Arc<dyn Env>,
+    root: &Path,
+    opts: &UniKvOptions,
+    topts: &TableOptions,
+    pmeta: &PartitionMeta,
+    last_seq: &mut SequenceNumber,
+    next_file: &mut u64,
+) -> Result<(Partition, Option<PathBuf>)> {
+    let dir = partition_dir(root, pmeta.id);
+    env.create_dir_all(&dir)?;
+    let vlog = ValueLog::open(env.clone(), dir.clone(), pmeta.id, opts.max_log_size)?;
+
+    // Rebuild the hash index: restore the checkpoint if present and valid,
+    // drop entries for tables that no longer exist, then replay the keys
+    // of tables flushed after the checkpoint.
+    let mut index = TwoLevelHashIndex::with_capacity(index_capacity(opts), opts.num_hashes);
+    let mut covered: HashSet<u64> = HashSet::new();
+    if opts.enable_hash_index {
+        let ckpt_path = dir.join(INDEX_CKPT);
+        if env.file_exists(&ckpt_path) {
+            if let Ok(restored) = env
+                .read_to_vec(&ckpt_path)
+                .and_then(|data| TwoLevelHashIndex::restore(&data))
+            {
+                index = restored;
+                covered = pmeta.ckpt_tables.iter().copied().collect();
+                // Remove entries for checkpointed tables that have since
+                // been merged away.
+                let live: HashSet<u32> = pmeta.unsorted.iter().map(|t| t.number as u32).collect();
+                let stale: HashSet<u32> = covered
+                    .iter()
+                    .map(|&n| n as u32)
+                    .filter(|n| !live.contains(n))
+                    .collect();
+                if !stale.is_empty() {
+                    index.remove_tables(&stale);
+                }
+                covered.retain(|n| live.contains(&(*n as u32)));
+            }
+        }
+        for tmeta in &pmeta.unsorted {
+            if covered.contains(&tmeta.number) {
+                continue;
+            }
+            let path = filenames::table_file(&dir, tmeta.number);
+            let size = env.file_size(&path)?;
+            let table = Table::open(env.new_random_access(&path)?, size, topts.clone())?;
+            let mut it = table.iter();
+            it.seek_to_first()?;
+            while it.valid() {
+                index.insert(extract_user_key(it.key()), tmeta.number as u32);
+                it.next()?;
+            }
+        }
+    }
+
+    // Replay the WAL into a fresh memtable (missing file = clean shutdown
+    // or crash before any write reached it).
+    let mem = Arc::new(MemTable::new());
+    let wal_path = filenames::wal_file(&dir, pmeta.wal_number);
+    let mut replayed = false;
+    if env.file_exists(&wal_path) {
+        let mut reader = LogReader::new(env.new_sequential(&wal_path)?);
+        let mut buf = Vec::new();
+        while reader.read_record(&mut buf)? == ReadOutcome::Record {
+            for (seq, t, key, value) in decode_batch_record(&buf)? {
+                let slot = SeparatedValue::Inline(value).encode();
+                mem.add(seq, t, &key, &slot);
+                *last_seq = (*last_seq).max(seq);
+                replayed = true;
+            }
+        }
+    }
+
+    let mut meta = pmeta.clone();
+    let mut stale_wal = None;
+    let wal = if replayed {
+        // The replayed WAL must survive on disk until the memtable is
+        // flushed (UniKv::open flushes non-empty memtables immediately
+        // after loading). Route new appends to a fresh WAL file; the old
+        // one is returned for deletion after the flush commits.
+        stale_wal = Some(wal_path.clone());
+        let new_number = {
+            *next_file += 1;
+            *next_file - 1
+        };
+        meta.wal_number = new_number;
+        LogWriter::new(env.new_writable(&filenames::wal_file(&dir, new_number))?)
+    } else {
+        // Nothing buffered: recreating the (empty or absent) file is safe.
+        LogWriter::new(env.new_writable(&wal_path)?)
+    };
+
+    Ok((
+        Partition {
+            meta,
+            mem,
+            wal,
+            index,
+            vlog,
+            tables: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            flushes_since_ckpt: 0,
+        },
+        stale_wal,
+    ))
+}

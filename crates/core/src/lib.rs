@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # UniKV
+//!
+//! A persistent key-value store unifying hash indexing and LSM organization
+//! — a from-scratch Rust reproduction of *"UniKV: Toward High-Performance
+//! and Scalable KV Storage in Mixed Workloads via Unified Indexing"*
+//! (ICDE 2020).
+//!
+//! ## Architecture
+//!
+//! Data is range-partitioned; each partition has a two-tier layout:
+//!
+//! * **UnsortedStore** — SSTables appended in flush order, indexed by an
+//!   in-memory [two-level hash index](unikv_hashindex) for O(1) point
+//!   lookups of recently written (hot) data. No Bloom filters anywhere.
+//! * **SortedStore** — a single fully-sorted run with **partial KV
+//!   separation**: keys+pointers in SSTables, values in append-only value
+//!   logs, so merges move keys, not values.
+//!
+//! Scalability comes from **dynamic range partitioning**: a partition that
+//! exceeds its size limit splits at the median key into two independent
+//! partitions (values split lazily during GC), instead of deepening an LSM.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use unikv::{UniKv, UniKvOptions};
+//! use unikv_env::mem::MemEnv;
+//!
+//! let db = UniKv::open(MemEnv::shared(), "/db", UniKvOptions::default()).unwrap();
+//! db.put(b"city", b"hong kong").unwrap();
+//! assert_eq!(db.get(b"city").unwrap(), Some(b"hong kong".to_vec()));
+//! let items = db.scan(b"a", 10).unwrap();
+//! assert_eq!(items.len(), 1);
+//! ```
+
+pub mod batch;
+pub mod db;
+pub mod fetch;
+pub mod iter;
+pub mod meta;
+pub mod options;
+pub mod partition;
+pub mod resolver;
+pub mod router;
+
+pub use batch::WriteBatch;
+pub use db::{UniKv, UniKvStats};
+pub use fetch::FetchPool;
+pub use iter::UniKvIterator;
+pub use options::UniKvOptions;
+pub use router::{SizeRouter, SizeRouterOptions};
+pub use unikv_lsm::db::ScanItem;

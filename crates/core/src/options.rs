@@ -1,0 +1,161 @@
+//! UniKV tuning knobs, including the ablation switches for experiment E7–E10.
+
+/// Configuration for a [`crate::UniKv`] instance.
+///
+/// Defaults are scaled from the paper's server configuration to laptop
+/// scale (see DESIGN.md §6); every threshold keeps the same *ratio* to the
+/// write buffer, so flush/merge/GC/split frequency per operation matches.
+#[derive(Debug, Clone)]
+pub struct UniKvOptions {
+    /// Memtable size that triggers a flush into the UnsortedStore.
+    pub write_buffer_size: usize,
+    /// Target SSTable size for SortedStore output.
+    pub table_size: usize,
+    /// SSTable data-block size (paper: 4 KiB).
+    pub block_size: usize,
+    /// UnsortedStore byte budget; reaching it triggers a merge into the
+    /// SortedStore (`UnsortedLimit`).
+    pub unsorted_limit_bytes: u64,
+    /// Number of UnsortedStore tables that triggers the size-based merge
+    /// keeping scans cheap (`scanMergeLimit`).
+    pub scan_merge_limit: usize,
+    /// Partition size (SortedStore keys + live values) that triggers a
+    /// range split (`partitionSizeLimit`).
+    pub partition_size_limit: u64,
+    /// Value-log file rotation size (GC granularity).
+    pub max_log_size: u64,
+    /// Run GC after a merge when dead log bytes exceed this fraction of
+    /// total log bytes.
+    pub gc_garbage_ratio: f64,
+    /// Minimum log bytes before GC is considered at all.
+    pub gc_min_bytes: u64,
+    /// Candidate hash functions in the two-level index (`n`).
+    pub num_hashes: usize,
+    /// Checkpoint the hash index every this many flushes (paper:
+    /// `unsorted_limit / 2` flushes).
+    pub index_checkpoint_interval: u32,
+    /// Threads used to fetch values in parallel during scans (paper: 32).
+    pub value_fetch_threads: usize,
+    /// Block-cache capacity in bytes (0 disables).
+    pub block_cache_bytes: usize,
+    /// fsync the WAL on every write.
+    pub sync_writes: bool,
+
+    // ---- Ablation switches (experiments E7–E10) ----
+    /// E7: disable the hash index; UnsortedStore lookups scan tables
+    /// newest-first instead.
+    pub enable_hash_index: bool,
+    /// E8: disable partial KV separation; merges rewrite values into the
+    /// SortedStore tables.
+    pub enable_kv_separation: bool,
+    /// E9: disable dynamic range partitioning; the single partition's
+    /// SortedStore grows without bound.
+    pub enable_partitioning: bool,
+    /// E10: disable scan optimizations (size-based merge, parallel value
+    /// fetch, readahead).
+    pub enable_scan_optimization: bool,
+}
+
+impl Default for UniKvOptions {
+    fn default() -> Self {
+        let write_buffer_size = 1 << 20;
+        UniKvOptions {
+            write_buffer_size,
+            table_size: 1 << 20,
+            block_size: 4096,
+            unsorted_limit_bytes: 8 * write_buffer_size as u64,
+            scan_merge_limit: 4,
+            partition_size_limit: 64 << 20,
+            max_log_size: 4 << 20,
+            gc_garbage_ratio: 0.5,
+            gc_min_bytes: 4 << 20,
+            num_hashes: 2,
+            index_checkpoint_interval: 4,
+            value_fetch_threads: 32,
+            block_cache_bytes: 8 << 20,
+            sync_writes: false,
+            enable_hash_index: true,
+            enable_kv_separation: true,
+            enable_partitioning: true,
+            enable_scan_optimization: true,
+        }
+    }
+}
+
+impl UniKvOptions {
+    /// A configuration for small hermetic tests: tiny buffers so flushes,
+    /// merges, GC, and splits all fire within a few hundred operations.
+    pub fn small_for_tests() -> Self {
+        let write_buffer_size = 4 << 10;
+        UniKvOptions {
+            write_buffer_size,
+            table_size: 8 << 10,
+            unsorted_limit_bytes: 4 * write_buffer_size as u64,
+            scan_merge_limit: 3,
+            partition_size_limit: 96 << 10,
+            max_log_size: 16 << 10,
+            gc_min_bytes: 16 << 10,
+            index_checkpoint_interval: 2,
+            value_fetch_threads: 4,
+            block_cache_bytes: 256 << 10,
+            ..Default::default()
+        }
+    }
+
+    /// Validate invariants between knobs.
+    pub fn validate(&self) -> unikv_common::Result<()> {
+        if self.write_buffer_size == 0 || self.table_size == 0 {
+            return Err(unikv_common::Error::invalid_argument(
+                "buffer and table sizes must be positive",
+            ));
+        }
+        if self.unsorted_limit_bytes < self.write_buffer_size as u64 {
+            return Err(unikv_common::Error::invalid_argument(
+                "unsorted_limit_bytes must cover at least one flush",
+            ));
+        }
+        if self.num_hashes == 0 || self.num_hashes > unikv_common::hash::FAMILY.len() {
+            return Err(unikv_common::Error::invalid_argument(
+                "num_hashes out of range",
+            ));
+        }
+        if self.value_fetch_threads == 0 {
+            return Err(unikv_common::Error::invalid_argument(
+                "value_fetch_threads must be positive",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.gc_garbage_ratio) {
+            return Err(unikv_common::Error::invalid_argument(
+                "gc_garbage_ratio must be within [0, 1]",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        UniKvOptions::default().validate().unwrap();
+        UniKvOptions::small_for_tests().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut o = UniKvOptions::default();
+        o.unsorted_limit_bytes = 1;
+        assert!(o.validate().is_err());
+        let mut o = UniKvOptions::default();
+        o.num_hashes = 9;
+        assert!(o.validate().is_err());
+        let mut o = UniKvOptions::default();
+        o.value_fetch_threads = 0;
+        assert!(o.validate().is_err());
+        let mut o = UniKvOptions::default();
+        o.gc_garbage_ratio = 1.5;
+        assert!(o.validate().is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Runtime state of one range partition: memtable + WAL, UnsortedStore
+//! tables with their hash index, the SortedStore run, and the value log.
+
+use crate::meta::{PartitionMeta, TableMeta};
+use crate::options::UniKvOptions;
+use crate::resolver::partition_dir;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use unikv_common::ikey::{compare_internal_keys, extract_user_key};
+use unikv_hashindex::TwoLevelHashIndex;
+use unikv_memtable::MemTable;
+use unikv_sstable::{BlockCache, Table, TableOptions};
+use unikv_vlog::ValueLog;
+use unikv_wal::LogWriter;
+
+/// Name of the hash-index checkpoint file within a partition directory.
+pub const INDEX_CKPT: &str = "INDEX.ckpt";
+
+/// Live state of one partition.
+pub struct Partition {
+    /// Persistent metadata (mirrors the last committed META snapshot plus
+    /// in-flight changes about to be committed).
+    pub meta: PartitionMeta,
+    /// Active memtable.
+    pub mem: Arc<MemTable>,
+    /// WAL protecting `mem`.
+    pub wal: LogWriter,
+    /// The two-level hash index over the UnsortedStore.
+    pub index: TwoLevelHashIndex,
+    /// Value logs owned by this partition.
+    pub vlog: ValueLog,
+    /// Open table handles (both tiers), keyed by file number. Behind a
+    /// mutex so readers holding only the database read lock can populate
+    /// the cache.
+    pub tables: parking_lot::Mutex<HashMap<u64, Arc<Table>>>,
+    /// Flushes since the last index checkpoint.
+    pub flushes_since_ckpt: u32,
+}
+
+impl Partition {
+    /// Directory of this partition under `root`.
+    pub fn dir(root: &Path, id: u32) -> PathBuf {
+        partition_dir(root, id)
+    }
+
+    /// Lock the table-handle cache.
+    pub fn tables_guard(&self) -> parking_lot::MutexGuard<'_, HashMap<u64, Arc<Table>>> {
+        self.tables.lock()
+    }
+
+    /// Drop a table handle (file about to be deleted).
+    pub fn evict_table(&self, number: u64) {
+        if let Some(t) = self.tables.lock().remove(&number) {
+            t.evict_from_cache();
+        }
+    }
+
+    /// UnsortedStore tables newest-first (reverse flush order).
+    pub fn unsorted_newest_first(&self) -> impl Iterator<Item = &TableMeta> {
+        self.meta.unsorted.iter().rev()
+    }
+
+    /// The SortedStore table that may contain `user_key`, found by binary
+    /// search over the in-memory boundary keys (paper: a lookup touches at
+    /// most one SSTable because the run is fully sorted).
+    pub fn sorted_table_for(&self, user_key: &[u8]) -> Option<&TableMeta> {
+        let idx = self
+            .meta
+            .sorted
+            .partition_point(|t| extract_user_key(&t.largest) < user_key);
+        let t = self.meta.sorted.get(idx)?;
+        (extract_user_key(&t.smallest) <= user_key).then_some(t)
+    }
+
+    /// Bytes in the UnsortedStore.
+    pub fn unsorted_bytes(&self) -> u64 {
+        self.meta.unsorted.iter().map(|t| t.size).sum()
+    }
+
+    /// Bytes in the SortedStore (keys + pointers/inline values).
+    pub fn sorted_bytes(&self) -> u64 {
+        self.meta.sorted.iter().map(|t| t.size).sum()
+    }
+
+    /// Approximate logical partition size used for the split trigger:
+    /// tiers plus live separated values.
+    pub fn logical_size(&self) -> u64 {
+        self.unsorted_bytes() + self.sorted_bytes() + self.meta.live_value_bytes
+    }
+
+    /// True if `user_key` belongs to this partition's range.
+    pub fn contains(&self, user_key: &[u8]) -> bool {
+        self.meta.lo.as_slice() <= user_key
+            && match &self.meta.hi {
+                Some(hi) => user_key < hi.as_slice(),
+                None => true,
+            }
+    }
+}
+
+/// Build the standard table options for UniKV tables (internal-key order,
+/// optional shared block cache; **no Bloom filters** — the paper removes
+/// them, the hash index and sorted-run boundary search replace them).
+pub fn table_options(cache: Option<Arc<BlockCache>>) -> TableOptions {
+    TableOptions {
+        cmp: compare_internal_keys,
+        cache,
+    }
+}
+
+/// Compute the index-checkpoint cadence from options (`unsorted_limit/2`
+/// flushes in the paper; explicit knob here).
+pub fn checkpoint_due(opts: &UniKvOptions, flushes_since: u32) -> bool {
+    flushes_since >= opts.index_checkpoint_interval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unikv_env::Env;
+    use unikv_common::ikey::{make_internal_key, ValueType};
+    use unikv_env::mem::MemEnv;
+    use unikv_sstable::{TableBuilder, TableBuilderOptions};
+
+    fn ik(k: &[u8], seq: u64) -> Vec<u8> {
+        make_internal_key(k, seq, ValueType::Value)
+    }
+
+    fn build_meta(env: &Arc<MemEnv>, path: &Path, lo: &[u8], hi: &[u8], number: u64) -> TableMeta {
+        let mut b = TableBuilder::new(
+            env.new_writable(path).unwrap(),
+            TableBuilderOptions::default(),
+        );
+        b.add(&ik(lo, 1), b"x").unwrap();
+        if hi != lo {
+            b.add(&ik(hi, 1), b"y").unwrap();
+        }
+        let props = b.finish().unwrap();
+        // Sanity: table reopens with the shared UniKV options.
+        Table::open(
+            env.new_random_access(path).unwrap(),
+            props.file_size,
+            table_options(None),
+        )
+        .unwrap();
+        TableMeta {
+            number,
+            size: props.file_size,
+            smallest: props.smallest,
+            largest: props.largest,
+        }
+    }
+
+    fn partition_with_sorted(metas: Vec<TableMeta>) -> crate::meta::PartitionMeta {
+        crate::meta::PartitionMeta {
+            id: 0,
+            sorted: metas,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sorted_table_for_routes_by_boundary_keys() {
+        let env = MemEnv::shared();
+        let t1 = build_meta(&env, Path::new("/1.sst"), b"b", b"f", 1);
+        let t2 = build_meta(&env, Path::new("/2.sst"), b"k", b"p", 2);
+        let meta = partition_with_sorted(vec![t1, t2]);
+        let p = test_partition(meta);
+        assert_eq!(p.sorted_table_for(b"b").map(|t| t.number), Some(1));
+        assert_eq!(p.sorted_table_for(b"d").map(|t| t.number), Some(1));
+        assert_eq!(p.sorted_table_for(b"f").map(|t| t.number), Some(1));
+        // Gap between runs: no table can contain "h".
+        assert_eq!(p.sorted_table_for(b"h").map(|t| t.number), None);
+        assert_eq!(p.sorted_table_for(b"m").map(|t| t.number), Some(2));
+        assert_eq!(p.sorted_table_for(b"a"), None);
+        assert_eq!(p.sorted_table_for(b"z"), None);
+    }
+
+    #[test]
+    fn contains_respects_half_open_range() {
+        let mut meta = partition_with_sorted(vec![]);
+        meta.lo = b"g".to_vec();
+        meta.hi = Some(b"p".to_vec());
+        let p = test_partition(meta);
+        assert!(!p.contains(b"f"));
+        assert!(p.contains(b"g"));
+        assert!(p.contains(b"o"));
+        assert!(!p.contains(b"p"));
+        assert!(!p.contains(b"z"));
+    }
+
+    #[test]
+    fn size_accounting_sums_tiers() {
+        let env = MemEnv::shared();
+        let t = build_meta(&env, Path::new("/t.sst"), b"a", b"b", 1);
+        let size = t.size;
+        let mut meta = partition_with_sorted(vec![t]);
+        meta.unsorted.push(TableMeta {
+            number: 2,
+            size: 100,
+            smallest: ik(b"a", 1),
+            largest: ik(b"z", 1),
+        });
+        meta.live_value_bytes = 555;
+        let p = test_partition(meta);
+        assert_eq!(p.unsorted_bytes(), 100);
+        assert_eq!(p.sorted_bytes(), size);
+        assert_eq!(p.logical_size(), 100 + size + 555);
+        assert_eq!(p.unsorted_newest_first().next().map(|t| t.number), Some(2));
+    }
+
+    fn test_partition(meta: crate::meta::PartitionMeta) -> Partition {
+        let env = MemEnv::shared();
+        Partition {
+            meta,
+            mem: Arc::new(unikv_memtable::MemTable::new()),
+            wal: unikv_wal::LogWriter::new(
+                env.new_writable(Path::new("/wal")).unwrap(),
+            ),
+            index: unikv_hashindex::TwoLevelHashIndex::new(16, 2),
+            vlog: unikv_vlog::ValueLog::open(env, "/vlog", 0, 1 << 20).unwrap(),
+            tables: parking_lot::Mutex::new(HashMap::new()),
+            flushes_since_ckpt: 0,
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Fault-injection [`Env`] wrapper used by crash-consistency tests.
+//!
+//! The wrapper tracks, per file, how many bytes have been durably synced.
+//! [`FaultInjectionEnv::crash`] then rolls every file back to its synced
+//! prefix (deleting files that were never synced), which models a power
+//! failure: everything after the last `sync` barrier is lost. A write-error
+//! mode (`fail_after_appends`) additionally exercises error paths.
+
+use crate::{Env, RandomAccessFile, SequentialFile, WritableFile};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use unikv_common::{Error, Result};
+
+#[derive(Default)]
+struct Tracking {
+    /// Bytes known durable per file. Files absent from the map but present
+    /// in the inner env predate this wrapper and are treated as durable.
+    synced_len: HashMap<PathBuf, u64>,
+    /// Files created through this wrapper since construction/last crash.
+    created: HashMap<PathBuf, bool>, // value: ever synced
+}
+
+/// Env wrapper that can simulate crashes and injected write failures.
+pub struct FaultInjectionEnv {
+    inner: Arc<dyn Env>,
+    tracking: Arc<Mutex<Tracking>>,
+    /// Remaining appends before injected failure; negative = disabled.
+    appends_until_failure: Arc<AtomicI64>,
+}
+
+impl FaultInjectionEnv {
+    /// Wrap `inner`.
+    pub fn new(inner: Arc<dyn Env>) -> Arc<Self> {
+        Arc::new(FaultInjectionEnv {
+            inner,
+            tracking: Arc::new(Mutex::new(Tracking::default())),
+            appends_until_failure: Arc::new(AtomicI64::new(-1)),
+        })
+    }
+
+    /// After `n` more successful appends, every append fails with an I/O
+    /// error until [`clear_failures`](Self::clear_failures) is called.
+    pub fn fail_after_appends(&self, n: i64) {
+        self.appends_until_failure.store(n, Ordering::SeqCst);
+    }
+
+    /// Disable injected failures.
+    pub fn clear_failures(&self) {
+        self.appends_until_failure.store(-1, Ordering::SeqCst);
+    }
+
+    /// Simulate a power failure: roll every tracked file back to its synced
+    /// prefix and delete files never synced. Returns the affected paths.
+    pub fn crash(&self) -> Result<Vec<PathBuf>> {
+        let mut affected = Vec::new();
+        let mut t = self.tracking.lock();
+        let created = std::mem::take(&mut t.created);
+        let synced: HashMap<_, _> = t.synced_len.clone();
+        drop(t);
+
+        for (path, ever_synced) in created {
+            if !self.inner.file_exists(&path) {
+                continue; // renamed away or deleted; its new name is tracked
+            }
+            let durable = if ever_synced {
+                *synced.get(&path).unwrap_or(&0)
+            } else {
+                0
+            };
+            let current = self.inner.file_size(&path)?;
+            if !ever_synced && durable == 0 {
+                self.inner.delete_file(&path)?;
+                affected.push(path);
+            } else if current > durable {
+                let prefix = {
+                    let f = self.inner.new_random_access(&path)?;
+                    f.read_at(0, durable as usize)?
+                };
+                let mut w = self.inner.new_writable(&path)?;
+                w.append(&prefix)?;
+                w.sync()?;
+                affected.push(path);
+            }
+        }
+        // After a crash the slate is clean: whatever survived is durable.
+        self.tracking.lock().synced_len.clear();
+        Ok(affected)
+    }
+}
+
+struct TrackedWritable {
+    inner: Box<dyn WritableFile>,
+    path: PathBuf,
+    tracking: Arc<Mutex<Tracking>>,
+    appends_until_failure: Arc<AtomicI64>,
+}
+
+impl WritableFile for TrackedWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        let remaining = self.appends_until_failure.load(Ordering::SeqCst);
+        if remaining == 0 {
+            return Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "injected write failure",
+            )));
+        }
+        if remaining > 0 {
+            self.appends_until_failure.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.inner.append(data)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()?;
+        let mut t = self.tracking.lock();
+        t.synced_len.insert(self.path.clone(), self.inner.len());
+        if let Some(ever) = t.created.get_mut(&self.path) {
+            *ever = true;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+impl Env for FaultInjectionEnv {
+    fn new_writable(&self, path: &Path) -> Result<Box<dyn WritableFile>> {
+        let inner = self.inner.new_writable(path)?;
+        let mut t = self.tracking.lock();
+        t.created.entry(path.to_path_buf()).or_insert(false);
+        t.synced_len.insert(path.to_path_buf(), 0);
+        Ok(Box::new(TrackedWritable {
+            inner,
+            path: path.to_path_buf(),
+            tracking: self.tracking.clone(),
+            appends_until_failure: self.appends_until_failure.clone(),
+        }))
+    }
+
+    fn new_random_access(&self, path: &Path) -> Result<Arc<dyn RandomAccessFile>> {
+        self.inner.new_random_access(path)
+    }
+
+    fn new_sequential(&self, path: &Path) -> Result<Box<dyn SequentialFile>> {
+        self.inner.new_sequential(path)
+    }
+
+    fn file_exists(&self, path: &Path) -> bool {
+        self.inner.file_exists(path)
+    }
+
+    fn file_size(&self, path: &Path) -> Result<u64> {
+        self.inner.file_size(path)
+    }
+
+    fn delete_file(&self, path: &Path) -> Result<()> {
+        let mut t = self.tracking.lock();
+        t.created.remove(path);
+        t.synced_len.remove(path);
+        drop(t);
+        self.inner.delete_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        self.inner.rename(from, to)?;
+        // Rename is treated as a durable metadata operation (write_atomic
+        // syncs file contents before renaming).
+        let mut t = self.tracking.lock();
+        if let Some(len) = t.synced_len.remove(from) {
+            t.synced_len.insert(to.to_path_buf(), len);
+        }
+        if let Some(ever) = t.created.remove(from) {
+            t.created.insert(to.to_path_buf(), ever);
+        }
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> Result<Vec<PathBuf>> {
+        self.inner.list_dir(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemEnv;
+
+    #[test]
+    fn crash_discards_unsynced_suffix() {
+        let env = FaultInjectionEnv::new(MemEnv::shared());
+        let p = Path::new("/wal");
+        let mut w = env.new_writable(p).unwrap();
+        w.append(b"durable").unwrap();
+        w.sync().unwrap();
+        w.append(b"-volatile").unwrap();
+        drop(w);
+
+        env.crash().unwrap();
+        assert_eq!(env.read_to_vec(p).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn crash_deletes_never_synced_files() {
+        let env = FaultInjectionEnv::new(MemEnv::shared());
+        let p = Path::new("/tmp-table");
+        env.new_writable(p).unwrap().append(b"x").unwrap();
+        env.crash().unwrap();
+        assert!(!env.file_exists(p));
+    }
+
+    #[test]
+    fn crash_keeps_fully_synced_files() {
+        let env = FaultInjectionEnv::new(MemEnv::shared());
+        let p = Path::new("/t");
+        let mut w = env.new_writable(p).unwrap();
+        w.append(b"all synced").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        env.crash().unwrap();
+        assert_eq!(env.read_to_vec(p).unwrap(), b"all synced");
+    }
+
+    #[test]
+    fn rename_carries_durability() {
+        let env = FaultInjectionEnv::new(MemEnv::shared());
+        env.write_atomic(Path::new("/manifest"), b"meta").unwrap();
+        env.crash().unwrap();
+        assert_eq!(env.read_to_vec(Path::new("/manifest")).unwrap(), b"meta");
+    }
+
+    #[test]
+    fn injected_failures_fire_and_clear() {
+        let env = FaultInjectionEnv::new(MemEnv::shared());
+        env.fail_after_appends(2);
+        let mut w = env.new_writable(Path::new("/f")).unwrap();
+        w.append(b"1").unwrap();
+        w.append(b"2").unwrap();
+        assert!(w.append(b"3").is_err());
+        env.clear_failures();
+        w.append(b"4").unwrap();
+    }
+
+    #[test]
+    fn second_crash_after_resync() {
+        let env = FaultInjectionEnv::new(MemEnv::shared());
+        let p = Path::new("/f");
+        let mut w = env.new_writable(p).unwrap();
+        w.append(b"a").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        env.crash().unwrap();
+
+        // Reopen (truncating, like a fresh WAL) and write again.
+        let mut w = env.new_writable(p).unwrap();
+        w.append(b"bb").unwrap();
+        w.sync().unwrap();
+        w.append(b"ccc").unwrap();
+        drop(w);
+        env.crash().unwrap();
+        assert_eq!(env.read_to_vec(p).unwrap(), b"bb");
+    }
+}

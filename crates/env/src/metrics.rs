@@ -1,0 +1,196 @@
+//! I/O accounting wrapper: counts bytes read and written through an env.
+//!
+//! The amplification experiment (paper §I/O Cost Analysis) divides device
+//! bytes by user bytes; wrapping the engine's env with [`CountingEnv`]
+//! yields the device side without touching engine code.
+
+use crate::{Env, RandomAccessFile, SequentialFile, WritableFile};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use unikv_common::Result;
+
+/// Byte counters shared by a [`CountingEnv`] and its caller.
+#[derive(Debug, Default)]
+pub struct IoCounters {
+    read: AtomicU64,
+    written: AtomicU64,
+}
+
+impl IoCounters {
+    /// Bytes read through the env so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.read.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written through the env so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    /// Reset both counters.
+    pub fn reset(&self) {
+        self.read.store(0, Ordering::Relaxed);
+        self.written.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Env wrapper that counts all bytes flowing through it.
+pub struct CountingEnv {
+    inner: Arc<dyn Env>,
+    counters: Arc<IoCounters>,
+}
+
+impl CountingEnv {
+    /// Wrap `inner`.
+    pub fn new(inner: Arc<dyn Env>) -> Arc<Self> {
+        Arc::new(CountingEnv {
+            inner,
+            counters: Arc::new(IoCounters::default()),
+        })
+    }
+
+    /// The shared counters.
+    pub fn counters(&self) -> Arc<IoCounters> {
+        self.counters.clone()
+    }
+}
+
+struct CountingWritable {
+    inner: Box<dyn WritableFile>,
+    counters: Arc<IoCounters>,
+}
+
+impl WritableFile for CountingWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.counters
+            .written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.inner.append(data)
+    }
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
+    }
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+struct CountingRandomAccess {
+    inner: Arc<dyn RandomAccessFile>,
+    counters: Arc<IoCounters>,
+}
+
+impl RandomAccessFile for CountingRandomAccess {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let data = self.inner.read_at(offset, len)?;
+        self.counters
+            .read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+    fn size(&self) -> Result<u64> {
+        self.inner.size()
+    }
+    fn readahead(&self, offset: u64, len: usize) {
+        self.inner.readahead(offset, len)
+    }
+}
+
+struct CountingSequential {
+    inner: Box<dyn SequentialFile>,
+    counters: Arc<IoCounters>,
+}
+
+impl SequentialFile for CountingSequential {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.counters.read.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl Env for CountingEnv {
+    fn new_writable(&self, path: &Path) -> Result<Box<dyn WritableFile>> {
+        Ok(Box::new(CountingWritable {
+            inner: self.inner.new_writable(path)?,
+            counters: self.counters.clone(),
+        }))
+    }
+
+    fn new_random_access(&self, path: &Path) -> Result<Arc<dyn RandomAccessFile>> {
+        Ok(Arc::new(CountingRandomAccess {
+            inner: self.inner.new_random_access(path)?,
+            counters: self.counters.clone(),
+        }))
+    }
+
+    fn new_sequential(&self, path: &Path) -> Result<Box<dyn SequentialFile>> {
+        Ok(Box::new(CountingSequential {
+            inner: self.inner.new_sequential(path)?,
+            counters: self.counters.clone(),
+        }))
+    }
+
+    fn file_exists(&self, path: &Path) -> bool {
+        self.inner.file_exists(path)
+    }
+    fn file_size(&self, path: &Path) -> Result<u64> {
+        self.inner.file_size(path)
+    }
+    fn delete_file(&self, path: &Path) -> Result<()> {
+        self.inner.delete_file(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        self.inner.rename(from, to)
+    }
+    fn create_dir_all(&self, path: &Path) -> Result<()> {
+        self.inner.create_dir_all(path)
+    }
+    fn list_dir(&self, path: &Path) -> Result<Vec<PathBuf>> {
+        self.inner.list_dir(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemEnv;
+
+    #[test]
+    fn counts_reads_and_writes() {
+        let env = CountingEnv::new(MemEnv::shared());
+        let counters = env.counters();
+        let p = Path::new("/f");
+        let mut w = env.new_writable(p).unwrap();
+        w.append(&[0u8; 100]).unwrap();
+        w.sync().unwrap();
+        assert_eq!(counters.bytes_written(), 100);
+
+        let r = env.new_random_access(p).unwrap();
+        r.read_at(0, 40).unwrap();
+        assert_eq!(counters.bytes_read(), 40);
+
+        let mut s = env.new_sequential(p).unwrap();
+        let mut buf = [0u8; 25];
+        s.read(&mut buf).unwrap();
+        assert_eq!(counters.bytes_read(), 65);
+
+        counters.reset();
+        assert_eq!(counters.bytes_read(), 0);
+        assert_eq!(counters.bytes_written(), 0);
+    }
+
+    #[test]
+    fn short_reads_counted_accurately() {
+        let env = CountingEnv::new(MemEnv::shared());
+        let p = Path::new("/f");
+        env.new_writable(p).unwrap().append(&[1u8; 10]).unwrap();
+        let r = env.new_random_access(p).unwrap();
+        r.read_at(5, 100).unwrap(); // only 5 available
+        assert_eq!(env.counters().bytes_read(), 5);
+    }
+}

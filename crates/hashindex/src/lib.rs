@@ -1,0 +1,436 @@
+#![warn(missing_docs)]
+
+//! The paper's lightweight two-level hash index (§Design, "Hash indexing").
+//!
+//! The index accelerates point lookups into the UnsortedStore. It combines
+//! cuckoo-style multi-choice placement with chained overflow:
+//!
+//! * **Insertion** probes candidate buckets `h_1(key)%N .. h_n(key)%N` and
+//!   places the entry in the first bucket with a free primary slot; if all
+//!   candidates are occupied, the entry is appended as an *overflow* entry
+//!   to bucket `h_n(key)%N`.
+//! * Each entry is 8 bytes: `<keyTag(2B), sstableId, next-pointer>`. The
+//!   `keyTag` is the top 2 bytes of `h_{n+1}(key)` and filters probes; the
+//!   on-paper "pointer" chains overflow entries — here the chain is the
+//!   bucket's vector, preserving the 8-byte-per-entry accounting.
+//! * **Lookup** probes buckets from `h_n` **down** to `h_1`, scanning each
+//!   bucket's entries newest-first (tail to head). Because re-insertions of
+//!   a key only ever move to later probe positions, this order yields the
+//!   newest version first. A tag match may still be a false positive; the
+//!   caller resolves it by reading the key from the named SSTable.
+//!
+//! Memory: with ~80% bucket utilization each resident KV costs ~8 bytes,
+//! i.e. ~10 MB per 1 GB of 1 KiB KVs (<1%), matching the paper's analysis.
+//! The index is checkpointable for crash recovery (paper §Crash
+//! Consistency: a checkpoint every `unsorted_limit/2` flushes).
+
+use std::collections::HashSet;
+use unikv_common::coding::{
+    put_fixed32, put_varint32, try_decode_fixed32, get_varint32,
+};
+use unikv_common::hash::{bucket_hash, key_tag};
+use unikv_common::{crc32c, Error, Result};
+
+/// Logical bytes per entry, per the paper's memory analysis.
+pub const ENTRY_BYTES: usize = 8;
+
+/// Default number of candidate hash functions (`n` in the paper).
+pub const DEFAULT_NUM_HASHES: usize = 2;
+
+/// Default target bucket utilization used by [`TwoLevelHashIndex::with_capacity`].
+pub const DEFAULT_LOAD_FACTOR: f64 = 0.8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    tag: u16,
+    table_id: u32,
+}
+
+/// Probe/verification counters for the memory/lookup experiments.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// `candidates` calls.
+    pub lookups: u64,
+    /// Candidate entries produced (tag matches).
+    pub tag_matches: u64,
+    /// Entries placed in a primary slot.
+    pub primary_inserts: u64,
+    /// Entries appended to an overflow chain.
+    pub overflow_inserts: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    lookups: std::sync::atomic::AtomicU64,
+    tag_matches: std::sync::atomic::AtomicU64,
+    primary_inserts: std::sync::atomic::AtomicU64,
+    overflow_inserts: std::sync::atomic::AtomicU64,
+}
+
+/// The two-level hash index mapping keys to UnsortedStore SSTable ids.
+///
+/// ```
+/// use unikv_hashindex::TwoLevelHashIndex;
+///
+/// let mut index = TwoLevelHashIndex::with_capacity(1_000, 2);
+/// index.insert(b"user42", 7);
+/// assert!(index.candidates(b"user42").contains(&7));
+/// assert_eq!(index.memory_bytes(), 8); // 8 bytes per entry, as in the paper
+/// let restored = TwoLevelHashIndex::restore(&index.checkpoint()).unwrap();
+/// assert!(restored.candidates(b"user42").contains(&7));
+/// ```
+pub struct TwoLevelHashIndex {
+    buckets: Vec<Vec<Entry>>,
+    num_hashes: usize,
+    entries: usize,
+    stats: AtomicStats,
+}
+
+impl TwoLevelHashIndex {
+    /// Create an index with exactly `num_buckets` buckets and `num_hashes`
+    /// candidate hash functions (1..=4).
+    pub fn new(num_buckets: usize, num_hashes: usize) -> Self {
+        assert!(num_buckets > 0, "need at least one bucket");
+        assert!(
+            (1..=unikv_common::hash::FAMILY.len()).contains(&num_hashes),
+            "num_hashes out of range"
+        );
+        TwoLevelHashIndex {
+            buckets: vec![Vec::new(); num_buckets],
+            num_hashes,
+            entries: 0,
+            stats: AtomicStats::default(),
+        }
+    }
+
+    /// Size the index for `expected_keys` at the paper's ~80% utilization.
+    pub fn with_capacity(expected_keys: usize, num_hashes: usize) -> Self {
+        let buckets = ((expected_keys as f64 / DEFAULT_LOAD_FACTOR).ceil() as usize).max(16);
+        Self::new(buckets, num_hashes)
+    }
+
+    /// Number of index entries (one per resident key version).
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True if the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Logical memory consumed by entries, per the paper's 8 B accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries * ENTRY_BYTES
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> IndexStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        IndexStats {
+            lookups: self.stats.lookups.load(Relaxed),
+            tag_matches: self.stats.tag_matches.load(Relaxed),
+            primary_inserts: self.stats.primary_inserts.load(Relaxed),
+            overflow_inserts: self.stats.overflow_inserts.load(Relaxed),
+        }
+    }
+
+    fn bucket_of(&self, key: &[u8], i: usize) -> usize {
+        (bucket_hash(key, i) % self.buckets.len() as u64) as usize
+    }
+
+    /// Record that `key` now resides in UnsortedStore table `table_id`.
+    pub fn insert(&mut self, key: &[u8], table_id: u32) {
+        let entry = Entry {
+            tag: key_tag(key),
+            table_id,
+        };
+        for i in 0..self.num_hashes {
+            let b = self.bucket_of(key, i);
+            if self.buckets[b].is_empty() {
+                self.buckets[b].push(entry);
+                self.entries += 1;
+                self.stats
+                    .primary_inserts
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return;
+            }
+        }
+        // All candidates occupied: overflow onto the h_n bucket's chain.
+        let b = self.bucket_of(key, self.num_hashes - 1);
+        self.buckets[b].push(entry);
+        self.entries += 1;
+        self.stats
+            .overflow_inserts
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Candidate table ids for `key`, newest first. May contain false
+    /// positives (same tag, different key) and stale versions; the caller
+    /// verifies by reading the named SSTables in order.
+    pub fn candidates(&self, key: &[u8]) -> Vec<u32> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let tag = key_tag(key);
+        let mut out = Vec::new();
+        self.stats.lookups.fetch_add(1, Relaxed);
+        // Probe h_n down to h_1; duplicates arise when two hash functions
+        // pick the same bucket — skip repeats.
+        let mut seen_buckets = [usize::MAX; 8];
+        for i in (0..self.num_hashes).rev() {
+            let b = self.bucket_of(key, i);
+            if seen_buckets[..self.num_hashes].contains(&b) {
+                continue;
+            }
+            seen_buckets[i] = b;
+            for e in self.buckets[b].iter().rev() {
+                if e.tag == tag {
+                    out.push(e.table_id);
+                    self.stats.tag_matches.fetch_add(1, Relaxed);
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop every entry that references one of `table_ids` (called after a
+    /// merge migrates those UnsortedStore tables into the SortedStore).
+    pub fn remove_tables(&mut self, table_ids: &HashSet<u32>) {
+        for bucket in &mut self.buckets {
+            let before = bucket.len();
+            bucket.retain(|e| !table_ids.contains(&e.table_id));
+            self.entries -= before - bucket.len();
+        }
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.entries = 0;
+    }
+
+    /// Serialize the index for checkpointing. Format:
+    /// `fixed32(num_buckets) fixed32(num_hashes)
+    ///  [varint32(len) (fixed-6 entry)*]* fixed32(masked crc)`.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.entries * 6 + self.buckets.len());
+        put_fixed32(&mut out, self.buckets.len() as u32);
+        put_fixed32(&mut out, self.num_hashes as u32);
+        for bucket in &self.buckets {
+            put_varint32(&mut out, bucket.len() as u32);
+            for e in bucket {
+                out.extend_from_slice(&e.tag.to_le_bytes());
+                out.extend_from_slice(&e.table_id.to_le_bytes());
+            }
+        }
+        let crc = crc32c::mask(crc32c::value(&out));
+        put_fixed32(&mut out, crc);
+        out
+    }
+
+    /// Restore an index from a checkpoint produced by [`checkpoint`](Self::checkpoint).
+    pub fn restore(data: &[u8]) -> Result<Self> {
+        if data.len() < 12 {
+            return Err(Error::corruption("hash index checkpoint too small"));
+        }
+        let body = &data[..data.len() - 4];
+        let stored = try_decode_fixed32(&data[data.len() - 4..])?;
+        if crc32c::unmask(stored) != crc32c::value(body) {
+            return Err(Error::corruption("hash index checkpoint crc mismatch"));
+        }
+        let num_buckets = try_decode_fixed32(body)? as usize;
+        let num_hashes = try_decode_fixed32(&body[4..])? as usize;
+        if num_buckets == 0 || !(1..=unikv_common::hash::FAMILY.len()).contains(&num_hashes) {
+            return Err(Error::corruption("hash index checkpoint header invalid"));
+        }
+        let mut idx = TwoLevelHashIndex::new(num_buckets, num_hashes);
+        let mut pos = 8usize;
+        for b in 0..num_buckets {
+            let (len, n) = get_varint32(&body[pos..])
+                .map_err(|_| Error::corruption("hash index checkpoint truncated"))?;
+            pos += n;
+            for _ in 0..len {
+                if pos + 6 > body.len() {
+                    return Err(Error::corruption("hash index checkpoint truncated entry"));
+                }
+                let tag = u16::from_le_bytes(body[pos..pos + 2].try_into().expect("2 bytes"));
+                let table_id =
+                    u32::from_le_bytes(body[pos + 2..pos + 6].try_into().expect("4 bytes"));
+                idx.buckets[b].push(Entry { tag, table_id });
+                idx.entries += 1;
+                pos += 6;
+            }
+        }
+        if pos != body.len() {
+            return Err(Error::corruption("hash index checkpoint trailing bytes"));
+        }
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("user-key-{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn insert_then_candidate_contains_table() {
+        let mut idx = TwoLevelHashIndex::with_capacity(1000, 2);
+        for i in 0..1000u64 {
+            idx.insert(&key(i), (i % 8) as u32);
+        }
+        assert_eq!(idx.len(), 1000);
+        for i in 0..1000u64 {
+            let cands = idx.candidates(&key(i));
+            assert!(
+                cands.contains(&((i % 8) as u32)),
+                "key {i} lost its table id"
+            );
+        }
+    }
+
+    #[test]
+    fn newest_version_first() {
+        let mut idx = TwoLevelHashIndex::with_capacity(100, 2);
+        // Same key re-inserted with increasing table ids (newer flushes).
+        let k = key(42);
+        for table in 0..10u32 {
+            idx.insert(&k, table);
+        }
+        let cands = idx.candidates(&k);
+        // Every inserted table id must appear, newest (9) before oldest (0).
+        let pos_of = |t: u32| cands.iter().position(|&c| c == t);
+        for t in 0..10u32 {
+            assert!(pos_of(t).is_some(), "table {t} missing");
+        }
+        for t in 1..10u32 {
+            assert!(
+                pos_of(t).unwrap() < pos_of(t - 1).unwrap(),
+                "table {t} should come before {}",
+                t - 1
+            );
+        }
+    }
+
+    #[test]
+    fn remove_tables_drops_entries() {
+        let mut idx = TwoLevelHashIndex::with_capacity(100, 2);
+        for i in 0..100u64 {
+            idx.insert(&key(i), (i % 4) as u32);
+        }
+        let victims: HashSet<u32> = [0u32, 1].into_iter().collect();
+        idx.remove_tables(&victims);
+        assert_eq!(idx.len(), 50);
+        for i in 0..100u64 {
+            let cands = idx.candidates(&key(i));
+            for c in cands {
+                assert!(!victims.contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_matches_paper() {
+        let mut idx = TwoLevelHashIndex::with_capacity(1_000, 2);
+        for i in 0..1_000u64 {
+            idx.insert(&key(i), 0);
+        }
+        assert_eq!(idx.memory_bytes(), 8_000);
+        // Paper: 1M keys of 1KB -> ~10MB index, <1% of data.
+        let data_bytes = 1_000 * 1024;
+        assert!((idx.memory_bytes() as f64) < 0.01 * data_bytes as f64);
+    }
+
+    #[test]
+    fn overflow_chains_engage_at_high_load() {
+        // More keys than buckets forces overflow placement.
+        let mut idx = TwoLevelHashIndex::new(64, 2);
+        for i in 0..256u64 {
+            idx.insert(&key(i), 1);
+        }
+        assert!(idx.stats().overflow_inserts > 0);
+        // All keys still resolvable.
+        for i in 0..256u64 {
+            assert!(!idx.candidates(&key(i)).is_empty());
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut idx = TwoLevelHashIndex::with_capacity(500, 2);
+        for i in 0..500u64 {
+            idx.insert(&key(i), (i % 5) as u32);
+        }
+        let snap = idx.checkpoint();
+        let restored = TwoLevelHashIndex::restore(&snap).unwrap();
+        assert_eq!(restored.len(), idx.len());
+        assert_eq!(restored.num_buckets(), idx.num_buckets());
+        for i in 0..500u64 {
+            assert_eq!(restored.candidates(&key(i)), idx.candidates(&key(i)));
+        }
+    }
+
+    #[test]
+    fn checkpoint_corruption_detected() {
+        let mut idx = TwoLevelHashIndex::with_capacity(10, 2);
+        idx.insert(b"a", 1);
+        let mut snap = idx.checkpoint();
+        let n = snap.len();
+        snap[n / 2] ^= 0xff;
+        assert!(TwoLevelHashIndex::restore(&snap).is_err());
+        assert!(TwoLevelHashIndex::restore(&snap[..4]).is_err());
+        assert!(TwoLevelHashIndex::restore(&[]).is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut idx = TwoLevelHashIndex::with_capacity(10, 2);
+        idx.insert(b"a", 1);
+        idx.clear();
+        assert!(idx.is_empty());
+        assert!(idx.candidates(b"a").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_no_false_negatives(
+            keys in proptest::collection::btree_map(
+                proptest::collection::vec(any::<u8>(), 1..16), 0u32..64, 1..300),
+            num_hashes in 1usize..4,
+        ) {
+            let mut idx = TwoLevelHashIndex::with_capacity(keys.len(), num_hashes);
+            for (k, t) in &keys {
+                idx.insert(k, *t);
+            }
+            for (k, t) in &keys {
+                prop_assert!(idx.candidates(k).contains(t), "lost {k:?} -> {t}");
+            }
+        }
+
+        #[test]
+        fn prop_checkpoint_roundtrip(
+            keys in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 1..12), 0u32..16), 0..200),
+        ) {
+            let mut idx = TwoLevelHashIndex::with_capacity(keys.len().max(1), 2);
+            for (k, t) in &keys {
+                idx.insert(k, *t);
+            }
+            let restored = TwoLevelHashIndex::restore(&idx.checkpoint()).unwrap();
+            prop_assert_eq!(restored.len(), idx.len());
+            for (k, _) in &keys {
+                prop_assert_eq!(restored.candidates(k), idx.candidates(k));
+            }
+        }
+    }
+}

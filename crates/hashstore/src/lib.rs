@@ -1,0 +1,310 @@
+#![warn(missing_docs)]
+
+//! SkimpyStash-like hash-indexed KV store — the motivation baseline.
+//!
+//! The paper's Fig. 2(a) motivates UniKV by showing that a pure
+//! hash-indexed store (SkimpyStash) outperforms an LSM at small scale but
+//! degrades below it as data grows, because a RAM-bounded index forces
+//! bucket chains onto flash: each bucket keeps only a head pointer in
+//! memory, records on the data log link to the previous record of the same
+//! bucket, and a lookup walks the on-disk chain. Chain length grows
+//! linearly with `keys / buckets`, so read cost grows with data size while
+//! the LSM's stays logarithmic. Range scans are unsupported — the second
+//! limitation the paper calls out.
+//!
+//! Record layout: `fixed64(prev_offset+1, 0 = none) | varint32(klen) |
+//! varint32(vlen) | key | value`.
+
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::sync::Arc;
+use unikv_common::coding::{get_varint32, put_varint32, try_decode_fixed64};
+use unikv_common::hash::hash64;
+use unikv_common::{Error, Result};
+use unikv_env::{Env, RandomAccessFile, WritableFile};
+
+/// Configuration for the hash store.
+#[derive(Debug, Clone)]
+pub struct HashStoreOptions {
+    /// Number of in-memory bucket heads. This is the RAM budget: lookups
+    /// read `~chain_length = keys / num_buckets` records from the log.
+    pub num_buckets: usize,
+    /// Sync appends to the log on every put.
+    pub sync_writes: bool,
+}
+
+impl Default for HashStoreOptions {
+    fn default() -> Self {
+        HashStoreOptions {
+            num_buckets: 1 << 16,
+            sync_writes: false,
+        }
+    }
+}
+
+struct Inner {
+    writer: Box<dyn WritableFile>,
+    heads: Vec<u64>, // offset+1 of newest record per bucket; 0 = empty
+    len: u64,
+}
+
+/// Append-only log + bucket-chain hash index.
+///
+/// ```
+/// use unikv_hashstore::{HashStore, HashStoreOptions};
+/// use unikv_env::mem::MemEnv;
+///
+/// let store = HashStore::create(MemEnv::shared(), "/hs", HashStoreOptions::default()).unwrap();
+/// store.put(b"k", b"v").unwrap();
+/// assert_eq!(store.get(b"k").unwrap(), Some(b"v".to_vec()));
+/// assert!(store.scan(b"", 10).is_err()); // hash indexes cannot range-scan
+/// ```
+pub struct HashStore {
+    env: Arc<dyn Env>,
+    path: PathBuf,
+    opts: HashStoreOptions,
+    inner: Mutex<Inner>,
+    reader: Mutex<Option<Arc<dyn RandomAccessFile>>>,
+}
+
+impl HashStore {
+    /// Create a fresh store whose data log lives at `dir/data.log`.
+    pub fn create(env: Arc<dyn Env>, dir: impl Into<PathBuf>, opts: HashStoreOptions) -> Result<Self> {
+        let dir = dir.into();
+        env.create_dir_all(&dir)?;
+        let path = dir.join("data.log");
+        let writer = env.new_writable(&path)?;
+        Ok(HashStore {
+            env,
+            path,
+            inner: Mutex::new(Inner {
+                writer,
+                heads: vec![0; opts.num_buckets],
+                len: 0,
+            }),
+            opts,
+            reader: Mutex::new(None),
+        })
+    }
+
+    /// Insert or update `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let b = (hash64(key, BUCKET_SEED) % inner.heads.len() as u64) as usize;
+        let offset = inner.writer.len();
+        let mut rec = Vec::with_capacity(8 + 10 + key.len() + value.len());
+        rec.extend_from_slice(&inner.heads[b].to_le_bytes());
+        put_varint32(&mut rec, key.len() as u32);
+        put_varint32(&mut rec, value.len() as u32);
+        rec.extend_from_slice(key);
+        rec.extend_from_slice(value);
+        inner.writer.append(&rec)?;
+        if self.opts.sync_writes {
+            inner.writer.sync()?;
+        }
+        inner.heads[b] = offset + 1;
+        inner.len += 1;
+        Ok(())
+    }
+
+    fn reader(&self) -> Result<Arc<dyn RandomAccessFile>> {
+        let mut guard = self.reader.lock();
+        if let Some(r) = guard.as_ref() {
+            return Ok(r.clone());
+        }
+        let r = self.env.new_random_access(&self.path)?;
+        *guard = Some(r.clone());
+        Ok(r)
+    }
+
+    /// Point lookup: walk the bucket's on-log chain newest-first. Returns
+    /// the number of log records visited alongside the value, so the
+    /// motivation experiment can report read amplification directly.
+    pub fn get_traced(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, u64)> {
+        let head = {
+            let mut inner = self.inner.lock();
+            inner.writer.flush()?;
+            let b = (hash64(key, BUCKET_SEED) % inner.heads.len() as u64) as usize;
+            inner.heads[b]
+        };
+        let reader = self.reader()?;
+        let mut cursor = head;
+        let mut visited = 0u64;
+        while cursor != 0 {
+            visited += 1;
+            let offset = cursor - 1;
+            // Read a generous prefix: header + key; re-read if value needed.
+            let header = reader.read_at(offset, 8 + 10 + key.len())?;
+            let prev = try_decode_fixed64(&header)?;
+            let (klen, n1) = get_varint32(&header[8..])?;
+            let (vlen, n2) = get_varint32(&header[8 + n1..])?;
+            let key_start = 8 + n1 + n2;
+            if klen as usize == key.len() {
+                let stored_key = reader.read_at(offset + key_start as u64, klen as usize)?;
+                if stored_key == key {
+                    let value = reader.read_at(
+                        offset + key_start as u64 + klen as u64,
+                        vlen as usize,
+                    )?;
+                    if value.len() != vlen as usize {
+                        return Err(Error::corruption("hashstore record truncated"));
+                    }
+                    return Ok(((!value.is_empty() || vlen == 0).then_some(value), visited));
+                }
+            }
+            cursor = prev;
+        }
+        Ok((None, visited))
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_traced(key).map(|(v, _)| v)
+    }
+
+    /// Number of records appended (versions, not distinct keys).
+    pub fn len(&self) -> u64 {
+        self.inner.lock().len
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-memory index bytes (bucket heads).
+    pub fn index_memory_bytes(&self) -> usize {
+        self.opts.num_buckets * std::mem::size_of::<u64>()
+    }
+
+    /// Range scans are not supported by hash indexing — this is the
+    /// limitation the paper contrasts against the LSM design. Always errors.
+    pub fn scan(&self, _from: &[u8], _limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Err(Error::invalid_argument(
+            "hash-indexed store does not support range scans",
+        ))
+    }
+}
+
+const BUCKET_SEED: u64 = 0x7b1c_9e02_55aa_33cc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unikv_env::mem::MemEnv;
+
+    fn store(buckets: usize) -> HashStore {
+        HashStore::create(
+            MemEnv::shared(),
+            "/hs",
+            HashStoreOptions {
+                num_buckets: buckets,
+                sync_writes: false,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = store(64);
+        for i in 0..500u32 {
+            s.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        for i in 0..500u32 {
+            assert_eq!(
+                s.get(format!("k{i}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes())
+            );
+        }
+        assert_eq!(s.get(b"absent").unwrap(), None);
+        assert_eq!(s.len(), 500);
+    }
+
+    #[test]
+    fn update_returns_newest() {
+        let s = store(8);
+        s.put(b"k", b"v1").unwrap();
+        s.put(b"k", b"v2").unwrap();
+        s.put(b"other", b"x").unwrap();
+        s.put(b"k", b"v3").unwrap();
+        assert_eq!(s.get(b"k").unwrap(), Some(b"v3".to_vec()));
+    }
+
+    #[test]
+    fn chain_length_grows_with_data() {
+        // The motivation claim: fixed memory -> read cost grows with scale.
+        let s = store(16);
+        let mut total_small = 0;
+        for i in 0..160u32 {
+            s.put(format!("key{i}").as_bytes(), b"v").unwrap();
+        }
+        for i in 0..160u32 {
+            total_small += s.get_traced(format!("key{i}").as_bytes()).unwrap().1;
+        }
+        for i in 160..1600u32 {
+            s.put(format!("key{i}").as_bytes(), b"v").unwrap();
+        }
+        let mut total_large = 0;
+        for i in 0..160u32 {
+            total_large += s.get_traced(format!("key{i}").as_bytes()).unwrap().1;
+        }
+        assert!(
+            total_large > total_small * 3,
+            "chains did not grow: {total_small} -> {total_large}"
+        );
+    }
+
+    #[test]
+    fn scan_unsupported() {
+        let s = store(8);
+        assert!(s.scan(b"a", 10).is_err());
+    }
+
+    #[test]
+    fn empty_value() {
+        let s = store(8);
+        s.put(b"k", b"").unwrap();
+        assert_eq!(s.get(b"k").unwrap(), Some(Vec::new()));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use unikv_env::mem::MemEnv;
+
+    proptest! {
+        /// Arbitrary put sequences: the store answers every key with its
+        /// newest written value, exactly like a HashMap model.
+        #[test]
+        fn prop_matches_hashmap_model(
+            ops in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 1..10),
+                 proptest::collection::vec(any::<u8>(), 0..40)), 1..200),
+            buckets_pow in 1u32..8,
+        ) {
+            let store = HashStore::create(
+                MemEnv::shared(),
+                "/hs",
+                HashStoreOptions {
+                    num_buckets: 1 << buckets_pow,
+                    sync_writes: false,
+                },
+            )
+            .unwrap();
+            let mut model = std::collections::HashMap::new();
+            for (k, v) in &ops {
+                store.put(k, v).unwrap();
+                model.insert(k.clone(), v.clone());
+            }
+            for (k, expect) in &model {
+                let got = store.get(k).unwrap();
+                prop_assert_eq!(got.as_ref(), Some(expect));
+            }
+            prop_assert_eq!(store.get(b"\xffnever-written").unwrap(), None);
+        }
+    }
+}

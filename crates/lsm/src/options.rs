@@ -1,0 +1,189 @@
+//! Engine tuning and the four baseline presets.
+
+/// Which compaction discipline organizes levels ≥ 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionPolicy {
+    /// Levels ≥ 1 hold one sorted run; compaction merges input files with
+    /// all overlapping files of the next level (LevelDB/RocksDB family).
+    Leveled,
+    /// Levels hold multiple overlapping runs; compaction re-sorts the
+    /// source level and appends to the next level without rewriting it
+    /// (PebblesDB-style fragmented/guarded levels).
+    Fragmented,
+}
+
+/// Named baseline presets from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// LevelDB v1.20-like behaviour.
+    LevelDb,
+    /// RocksDB-like behaviour (larger buffers, more L0 tolerance).
+    RocksDb,
+    /// HyperLevelDB-like behaviour (lazy, overlap-minimizing picks).
+    HyperLevelDb,
+    /// PebblesDB-like behaviour (fragmented LSM).
+    PebblesDb,
+}
+
+impl Baseline {
+    /// Human-readable name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::LevelDb => "LevelDB",
+            Baseline::RocksDb => "RocksDB",
+            Baseline::HyperLevelDb => "HyperLevelDB",
+            Baseline::PebblesDb => "PebblesDB",
+        }
+    }
+
+    /// All four baselines, in the paper's presentation order.
+    pub fn all() -> [Baseline; 4] {
+        [
+            Baseline::LevelDb,
+            Baseline::RocksDb,
+            Baseline::HyperLevelDb,
+            Baseline::PebblesDb,
+        ]
+    }
+}
+
+/// Tuning knobs for [`crate::LsmDb`].
+#[derive(Debug, Clone)]
+pub struct LsmOptions {
+    /// Memtable size that triggers a flush.
+    pub write_buffer_size: usize,
+    /// Target SSTable file size.
+    pub table_size: usize,
+    /// SSTable data-block size.
+    pub block_size: usize,
+    /// Bloom bits per key; `None` disables filters.
+    pub bloom_bits_per_key: Option<usize>,
+    /// Number of L0 files that triggers a compaction into L1.
+    pub l0_compaction_trigger: usize,
+    /// Number of levels.
+    pub num_levels: usize,
+    /// Size target of level 1; level L target is
+    /// `base_level_bytes * multiplier^(L-1)`.
+    pub base_level_bytes: u64,
+    /// Per-level size multiplier.
+    pub level_size_multiplier: u64,
+    /// Compaction discipline.
+    pub policy: CompactionPolicy,
+    /// For [`CompactionPolicy::Fragmented`]: number of runs at a level that
+    /// triggers merging that level down.
+    pub fragmented_runs_trigger: usize,
+    /// Pick the compaction input minimizing next-level overlap
+    /// (HyperLevelDB-style) rather than round-robin by key range.
+    pub overlap_minimizing_picks: bool,
+    /// fsync the WAL on every write.
+    pub sync_writes: bool,
+    /// Block-cache capacity in bytes (0 disables caching).
+    pub block_cache_bytes: usize,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        LsmOptions {
+            write_buffer_size: 4 << 20,
+            table_size: 2 << 20,
+            block_size: 4096,
+            bloom_bits_per_key: Some(10),
+            l0_compaction_trigger: 4,
+            num_levels: 7,
+            base_level_bytes: 10 << 20,
+            level_size_multiplier: 10,
+            policy: CompactionPolicy::Leveled,
+            fragmented_runs_trigger: 4,
+            overlap_minimizing_picks: false,
+            sync_writes: false,
+            block_cache_bytes: 8 << 20,
+        }
+    }
+}
+
+impl LsmOptions {
+    /// The preset approximating `baseline` at workspace benchmark scale.
+    pub fn baseline(baseline: Baseline) -> LsmOptions {
+        let base = LsmOptions::default();
+        match baseline {
+            Baseline::LevelDb => LsmOptions {
+                write_buffer_size: 2 << 20,
+                l0_compaction_trigger: 4,
+                ..base
+            },
+            Baseline::RocksDb => LsmOptions {
+                write_buffer_size: 4 << 20,
+                l0_compaction_trigger: 8,
+                block_cache_bytes: 16 << 20,
+                ..base
+            },
+            Baseline::HyperLevelDb => LsmOptions {
+                write_buffer_size: 4 << 20,
+                l0_compaction_trigger: 6,
+                overlap_minimizing_picks: true,
+                ..base
+            },
+            Baseline::PebblesDb => LsmOptions {
+                write_buffer_size: 4 << 20,
+                policy: CompactionPolicy::Fragmented,
+                fragmented_runs_trigger: 4,
+                ..base
+            },
+        }
+    }
+
+    /// Uniformly scale the size knobs (write buffer, table size, level
+    /// targets) by `factor` — used to shrink the paper's server-scale
+    /// configuration to laptop-scale datasets without changing the
+    /// flush/compaction *frequency per operation*.
+    pub fn scaled_down(mut self, factor: u64) -> LsmOptions {
+        assert!(factor >= 1);
+        self.write_buffer_size = (self.write_buffer_size / factor as usize).max(64 << 10);
+        self.table_size = (self.table_size / factor as usize).max(32 << 10);
+        self.base_level_bytes = (self.base_level_bytes / factor).max(256 << 10);
+        self.block_cache_bytes = (self.block_cache_bytes / factor as usize).max(256 << 10);
+        self
+    }
+
+    /// Target byte size of level `level` (levels ≥ 1).
+    pub fn level_target_bytes(&self, level: usize) -> u64 {
+        debug_assert!(level >= 1);
+        let mut size = self.base_level_bytes;
+        for _ in 1..level {
+            size = size.saturating_mul(self.level_size_multiplier);
+        }
+        size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_it_matters() {
+        let ldb = LsmOptions::baseline(Baseline::LevelDb);
+        let rdb = LsmOptions::baseline(Baseline::RocksDb);
+        let hdb = LsmOptions::baseline(Baseline::HyperLevelDb);
+        let pdb = LsmOptions::baseline(Baseline::PebblesDb);
+        assert!(rdb.l0_compaction_trigger > ldb.l0_compaction_trigger);
+        assert!(hdb.overlap_minimizing_picks);
+        assert_eq!(pdb.policy, CompactionPolicy::Fragmented);
+        assert_eq!(ldb.policy, CompactionPolicy::Leveled);
+    }
+
+    #[test]
+    fn level_targets_grow_geometrically() {
+        let o = LsmOptions::default();
+        assert_eq!(o.level_target_bytes(1), 10 << 20);
+        assert_eq!(o.level_target_bytes(2), 100 << 20);
+        assert_eq!(o.level_target_bytes(3), 1000 << 20);
+    }
+
+    #[test]
+    fn scaling_preserves_ratios_roughly() {
+        let o = LsmOptions::default().scaled_down(16);
+        assert_eq!(o.write_buffer_size, (4 << 20) / 16);
+        assert_eq!(o.base_level_bytes, (10 << 20) / 16);
+    }
+}

@@ -1,0 +1,355 @@
+//! Versions and the manifest: the persistent record of which SSTables form
+//! each level, maintained as a log of [`VersionEdit`]s (LevelDB-style).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use unikv_common::coding::{
+    get_length_prefixed_slice, get_varint32, get_varint64, put_length_prefixed_slice,
+    put_varint32, put_varint64,
+};
+use unikv_common::ikey::extract_user_key;
+use unikv_common::{Error, Result};
+
+/// Metadata of one SSTable file. `smallest`/`largest` are internal keys.
+#[derive(Debug)]
+pub struct FileMetaData {
+    /// File number (names the file on disk).
+    pub number: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Smallest internal key in the file.
+    pub smallest: Vec<u8>,
+    /// Largest internal key in the file.
+    pub largest: Vec<u8>,
+    /// Times this table served a point lookup (motivation experiment E2).
+    pub accesses: AtomicU64,
+}
+
+impl FileMetaData {
+    /// Construct metadata for a new file.
+    pub fn new(number: u64, size: u64, smallest: Vec<u8>, largest: Vec<u8>) -> Arc<Self> {
+        Arc::new(FileMetaData {
+            number,
+            size,
+            smallest,
+            largest,
+            accesses: AtomicU64::new(0),
+        })
+    }
+
+    /// True if `user_key` may fall inside this file's range.
+    pub fn may_contain_user_key(&self, user_key: &[u8]) -> bool {
+        extract_user_key(&self.smallest) <= user_key && user_key <= extract_user_key(&self.largest)
+    }
+
+    /// True if this file's user-key range overlaps `[lo, hi]` (inclusive).
+    pub fn overlaps_user_range(&self, lo: &[u8], hi: &[u8]) -> bool {
+        extract_user_key(&self.smallest) <= hi && lo <= extract_user_key(&self.largest)
+    }
+
+    /// Record a point-lookup access.
+    pub fn record_access(&self) {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// An immutable snapshot of the level structure.
+#[derive(Debug, Clone)]
+pub struct Version {
+    /// `levels[L]` lists the files of level `L`. Level 0 (and every level
+    /// under the fragmented policy) is ordered newest-first (descending
+    /// file number); strictly-leveled levels ≥ 1 are sorted by smallest
+    /// key and non-overlapping.
+    pub levels: Vec<Vec<Arc<FileMetaData>>>,
+}
+
+impl Version {
+    /// An empty version with `num_levels` levels.
+    pub fn empty(num_levels: usize) -> Arc<Version> {
+        Arc::new(Version {
+            levels: vec![Vec::new(); num_levels],
+        })
+    }
+
+    /// Total bytes at `level`.
+    pub fn level_bytes(&self, level: usize) -> u64 {
+        self.levels[level].iter().map(|f| f.size).sum()
+    }
+
+    /// Number of files at `level`.
+    pub fn level_files(&self, level: usize) -> usize {
+        self.levels[level].len()
+    }
+
+    /// Total files across all levels.
+    pub fn total_files(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Total bytes across all levels.
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.levels.len()).map(|l| self.level_bytes(l)).sum()
+    }
+
+    /// Files of `level` overlapping the inclusive user-key range.
+    pub fn overlapping_files(&self, level: usize, lo: &[u8], hi: &[u8]) -> Vec<Arc<FileMetaData>> {
+        self.levels[level]
+            .iter()
+            .filter(|f| f.overlaps_user_range(lo, hi))
+            .cloned()
+            .collect()
+    }
+}
+
+/// A delta applied to a [`Version`], persisted in the manifest.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct VersionEdit {
+    /// New WAL number: logs below it are obsolete after recovery.
+    pub log_number: Option<u64>,
+    /// High-water mark for file-number allocation.
+    pub next_file_number: Option<u64>,
+    /// Last sequence number covered by flushed tables.
+    pub last_sequence: Option<u64>,
+    /// Files added: `(level, number, size, smallest, largest)`.
+    pub added: Vec<(u32, u64, u64, Vec<u8>, Vec<u8>)>,
+    /// Files deleted: `(level, number)`.
+    pub deleted: Vec<(u32, u64)>,
+}
+
+// Tag bytes for the edit encoding.
+const TAG_LOG_NUMBER: u32 = 1;
+const TAG_NEXT_FILE: u32 = 2;
+const TAG_LAST_SEQ: u32 = 3;
+const TAG_ADD_FILE: u32 = 4;
+const TAG_DELETE_FILE: u32 = 5;
+
+impl VersionEdit {
+    /// Record a file addition.
+    pub fn add_file(&mut self, level: u32, meta: &FileMetaData) {
+        self.added.push((
+            level,
+            meta.number,
+            meta.size,
+            meta.smallest.clone(),
+            meta.largest.clone(),
+        ));
+    }
+
+    /// Record a file deletion.
+    pub fn delete_file(&mut self, level: u32, number: u64) {
+        self.deleted.push((level, number));
+    }
+
+    /// Serialize for the manifest log.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        if let Some(v) = self.log_number {
+            put_varint32(&mut out, TAG_LOG_NUMBER);
+            put_varint64(&mut out, v);
+        }
+        if let Some(v) = self.next_file_number {
+            put_varint32(&mut out, TAG_NEXT_FILE);
+            put_varint64(&mut out, v);
+        }
+        if let Some(v) = self.last_sequence {
+            put_varint32(&mut out, TAG_LAST_SEQ);
+            put_varint64(&mut out, v);
+        }
+        for (level, number, size, smallest, largest) in &self.added {
+            put_varint32(&mut out, TAG_ADD_FILE);
+            put_varint32(&mut out, *level);
+            put_varint64(&mut out, *number);
+            put_varint64(&mut out, *size);
+            put_length_prefixed_slice(&mut out, smallest);
+            put_length_prefixed_slice(&mut out, largest);
+        }
+        for (level, number) in &self.deleted {
+            put_varint32(&mut out, TAG_DELETE_FILE);
+            put_varint32(&mut out, *level);
+            put_varint64(&mut out, *number);
+        }
+        out
+    }
+
+    /// Parse a record produced by [`encode`](Self::encode).
+    pub fn decode(mut src: &[u8]) -> Result<VersionEdit> {
+        let mut edit = VersionEdit::default();
+        while !src.is_empty() {
+            let (tag, n) = get_varint32(src)?;
+            src = &src[n..];
+            match tag {
+                TAG_LOG_NUMBER => {
+                    let (v, n) = get_varint64(src)?;
+                    src = &src[n..];
+                    edit.log_number = Some(v);
+                }
+                TAG_NEXT_FILE => {
+                    let (v, n) = get_varint64(src)?;
+                    src = &src[n..];
+                    edit.next_file_number = Some(v);
+                }
+                TAG_LAST_SEQ => {
+                    let (v, n) = get_varint64(src)?;
+                    src = &src[n..];
+                    edit.last_sequence = Some(v);
+                }
+                TAG_ADD_FILE => {
+                    let (level, n) = get_varint32(src)?;
+                    src = &src[n..];
+                    let (number, n) = get_varint64(src)?;
+                    src = &src[n..];
+                    let (size, n) = get_varint64(src)?;
+                    src = &src[n..];
+                    let (smallest, n) = get_length_prefixed_slice(src)?;
+                    let smallest = smallest.to_vec();
+                    src = &src[n..];
+                    let (largest, n) = get_length_prefixed_slice(src)?;
+                    let largest = largest.to_vec();
+                    src = &src[n..];
+                    edit.added.push((level, number, size, smallest, largest));
+                }
+                TAG_DELETE_FILE => {
+                    let (level, n) = get_varint32(src)?;
+                    src = &src[n..];
+                    let (number, n) = get_varint64(src)?;
+                    src = &src[n..];
+                    edit.deleted.push((level, number));
+                }
+                other => {
+                    return Err(Error::corruption(format!(
+                        "unknown version edit tag {other}"
+                    )))
+                }
+            }
+        }
+        Ok(edit)
+    }
+}
+
+/// Apply `edit` to `base`, producing the next version. Leveled levels ≥ 1
+/// are re-sorted by smallest key; level 0 (and fragmented levels) stay
+/// ordered newest-first by file number.
+pub fn apply_edit(base: &Version, edit: &VersionEdit, leveled: bool) -> Arc<Version> {
+    let mut levels = base.levels.clone();
+    for (level, number) in &edit.deleted {
+        let l = *level as usize;
+        levels[l].retain(|f| f.number != *number);
+    }
+    for (level, number, size, smallest, largest) in &edit.added {
+        let l = *level as usize;
+        while levels.len() <= l {
+            levels.push(Vec::new());
+        }
+        levels[l].push(FileMetaData::new(
+            *number,
+            *size,
+            smallest.clone(),
+            largest.clone(),
+        ));
+    }
+    for (l, level) in levels.iter_mut().enumerate() {
+        if l == 0 || !leveled {
+            level.sort_by(|a, b| b.number.cmp(&a.number)); // newest first
+        } else {
+            level.sort_by(|a, b| a.smallest.cmp(&b.smallest));
+        }
+    }
+    Arc::new(Version { levels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unikv_common::ikey::{make_internal_key, ValueType};
+
+    fn ik(k: &[u8], seq: u64) -> Vec<u8> {
+        make_internal_key(k, seq, ValueType::Value)
+    }
+
+    #[test]
+    fn edit_roundtrip() {
+        let mut e = VersionEdit {
+            log_number: Some(9),
+            next_file_number: Some(100),
+            last_sequence: Some(12345),
+            ..Default::default()
+        };
+        e.added
+            .push((0, 7, 1024, ik(b"a", 1), ik(b"m", 5)));
+        e.added
+            .push((2, 8, 2048, ik(b"n", 2), ik(b"z", 9)));
+        e.deleted.push((1, 3));
+        let dec = VersionEdit::decode(&e.encode()).unwrap();
+        assert_eq!(dec, e);
+    }
+
+    #[test]
+    fn empty_edit_roundtrip() {
+        let e = VersionEdit::default();
+        assert_eq!(VersionEdit::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        assert!(VersionEdit::decode(&[99]).is_err());
+    }
+
+    #[test]
+    fn apply_edit_add_delete() {
+        let v0 = Version::empty(3);
+        let mut e1 = VersionEdit::default();
+        e1.added.push((0, 1, 10, ik(b"a", 1), ik(b"c", 1)));
+        e1.added.push((0, 2, 10, ik(b"b", 2), ik(b"d", 2)));
+        let v1 = apply_edit(&v0, &e1, true);
+        assert_eq!(v1.level_files(0), 2);
+        // Level 0 ordered newest-first.
+        assert_eq!(v1.levels[0][0].number, 2);
+        assert_eq!(v1.total_bytes(), 20);
+
+        let mut e2 = VersionEdit::default();
+        e2.deleted.push((0, 1));
+        e2.added.push((1, 3, 30, ik(b"a", 1), ik(b"z", 1)));
+        let v2 = apply_edit(&v1, &e2, true);
+        assert_eq!(v2.level_files(0), 1);
+        assert_eq!(v2.level_files(1), 1);
+        assert_eq!(v2.level_bytes(1), 30);
+    }
+
+    #[test]
+    fn leveled_level1_sorted_by_key() {
+        let v0 = Version::empty(2);
+        let mut e = VersionEdit::default();
+        e.added.push((1, 5, 1, ik(b"m", 1), ik(b"p", 1)));
+        e.added.push((1, 6, 1, ik(b"a", 1), ik(b"c", 1)));
+        let v = apply_edit(&v0, &e, true);
+        assert_eq!(v.levels[1][0].number, 6); // "a" sorts first
+        // Fragmented keeps newest-first instead.
+        let vf = apply_edit(&v0, &e, false);
+        assert_eq!(vf.levels[1][0].number, 6.max(5));
+    }
+
+    #[test]
+    fn file_overlap_predicates() {
+        let f = FileMetaData::new(1, 10, ik(b"c", 5), ik(b"f", 2));
+        assert!(f.may_contain_user_key(b"c"));
+        assert!(f.may_contain_user_key(b"f"));
+        assert!(!f.may_contain_user_key(b"b"));
+        assert!(!f.may_contain_user_key(b"g"));
+        assert!(f.overlaps_user_range(b"a", b"c"));
+        assert!(f.overlaps_user_range(b"f", b"z"));
+        assert!(!f.overlaps_user_range(b"a", b"b"));
+    }
+
+    #[test]
+    fn overlapping_files_query() {
+        let v0 = Version::empty(2);
+        let mut e = VersionEdit::default();
+        e.added.push((1, 1, 1, ik(b"a", 1), ik(b"c", 1)));
+        e.added.push((1, 2, 1, ik(b"d", 1), ik(b"f", 1)));
+        e.added.push((1, 3, 1, ik(b"g", 1), ik(b"i", 1)));
+        let v = apply_edit(&v0, &e, true);
+        let hits = v.overlapping_files(1, b"e", b"h");
+        let nums: Vec<u64> = hits.iter().map(|f| f.number).collect();
+        assert_eq!(nums, vec![2, 3]);
+    }
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! In-memory write buffer: a skiplist-backed memtable, as used by every
+//! engine in this workspace (UniKV keeps the classic LevelDB memtable+WAL
+//! front end; see paper §Design "Data Management").
+//!
+//! [`skiplist::SkipList`] is a lock-free-read skiplist: one internal mutex
+//! serializes inserts (engines already serialize writes), while readers
+//! traverse concurrently without locks via acquire/release atomics.
+
+pub mod memtable;
+pub mod skiplist;
+
+pub use memtable::{LookupResult, MemTable, MemTableIterator, OwnedMemTableIterator};
+pub use skiplist::SkipList;

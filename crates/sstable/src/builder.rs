@@ -1,0 +1,188 @@
+//! Streaming SSTable builder.
+
+use crate::block::{BlockBuilder, DEFAULT_RESTART_INTERVAL};
+use crate::filter::BloomFilterPolicy;
+use crate::format::{BlockHandle, Footer, BLOCK_TRAILER_SIZE, COMPRESSION_RAW};
+use unikv_common::{crc32c, Error, Result};
+use unikv_env::WritableFile;
+
+/// Maps a stored key to the key indexed by the Bloom filter. Engines
+/// storing internal keys pass a user-key extractor so lookups by user key
+/// hit the filter.
+pub type FilterKeyFn = fn(&[u8]) -> &[u8];
+
+fn identity_filter_key(k: &[u8]) -> &[u8] {
+    k
+}
+
+/// Tuning knobs for table construction.
+#[derive(Clone)]
+pub struct TableBuilderOptions {
+    /// Target uncompressed size of a data block (paper: 4 KiB).
+    pub block_size: usize,
+    /// Entries between restart points.
+    pub restart_interval: usize,
+    /// Bloom bits per key; `None` disables the filter block (UniKV mode).
+    pub bloom_bits_per_key: Option<usize>,
+    /// Key transform applied before inserting into the Bloom filter.
+    pub filter_key: FilterKeyFn,
+}
+
+impl Default for TableBuilderOptions {
+    fn default() -> Self {
+        TableBuilderOptions {
+            block_size: 4096,
+            restart_interval: DEFAULT_RESTART_INTERVAL,
+            bloom_bits_per_key: None,
+            filter_key: identity_filter_key,
+        }
+    }
+}
+
+/// Summary of a finished table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableProperties {
+    /// Number of entries written.
+    pub num_entries: u64,
+    /// Final file size in bytes.
+    pub file_size: u64,
+    /// First key added (empty table: empty vec).
+    pub smallest: Vec<u8>,
+    /// Last key added.
+    pub largest: Vec<u8>,
+}
+
+/// Builds an SSTable by streaming sorted entries to a writable file.
+pub struct TableBuilder {
+    file: Box<dyn WritableFile>,
+    opts: TableBuilderOptions,
+    data_block: BlockBuilder,
+    index_entries: Vec<(Vec<u8>, BlockHandle)>,
+    filter_keys: Vec<Vec<u8>>,
+    offset: u64,
+    num_entries: u64,
+    smallest: Vec<u8>,
+    largest: Vec<u8>,
+    last_key: Vec<u8>,
+}
+
+impl TableBuilder {
+    /// Start building into `file`.
+    pub fn new(file: Box<dyn WritableFile>, opts: TableBuilderOptions) -> Self {
+        let restart_interval = opts.restart_interval;
+        TableBuilder {
+            file,
+            opts,
+            data_block: BlockBuilder::new(restart_interval),
+            index_entries: Vec::new(),
+            filter_keys: Vec::new(),
+            offset: 0,
+            num_entries: 0,
+            smallest: Vec::new(),
+            largest: Vec::new(),
+            last_key: Vec::new(),
+        }
+    }
+
+    /// Append an entry. Keys must be strictly increasing under the table's
+    /// intended comparator; byte-identical keys are rejected.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if self.num_entries > 0 && key == self.last_key.as_slice() {
+            return Err(Error::invalid_argument("duplicate key added to table"));
+        }
+        if self.num_entries == 0 {
+            self.smallest = key.to_vec();
+        }
+        self.largest.clear();
+        self.largest.extend_from_slice(key);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+
+        if self.opts.bloom_bits_per_key.is_some() {
+            self.filter_keys.push((self.opts.filter_key)(key).to_vec());
+        }
+        self.data_block.add(key, value);
+        self.num_entries += 1;
+        if self.data_block.current_size_estimate() >= self.opts.block_size {
+            self.flush_data_block()?;
+        }
+        Ok(())
+    }
+
+    /// Number of entries added so far.
+    pub fn num_entries(&self) -> u64 {
+        self.num_entries
+    }
+
+    /// Approximate bytes written plus buffered.
+    pub fn estimated_size(&self) -> u64 {
+        self.offset + self.data_block.current_size_estimate() as u64
+    }
+
+    fn flush_data_block(&mut self) -> Result<()> {
+        if self.data_block.is_empty() {
+            return Ok(());
+        }
+        let block = std::mem::replace(
+            &mut self.data_block,
+            BlockBuilder::new(self.opts.restart_interval),
+        );
+        let payload = block.finish();
+        let handle = self.write_raw_block(&payload)?;
+        self.index_entries.push((self.last_key.clone(), handle));
+        Ok(())
+    }
+
+    fn write_raw_block(&mut self, payload: &[u8]) -> Result<BlockHandle> {
+        let handle = BlockHandle {
+            offset: self.offset,
+            size: payload.len() as u64,
+        };
+        self.file.append(payload)?;
+        let crc = crc32c::mask(crc32c::extend(crc32c::value(payload), &[COMPRESSION_RAW]));
+        let mut trailer = [0u8; BLOCK_TRAILER_SIZE];
+        trailer[0] = COMPRESSION_RAW;
+        trailer[1..5].copy_from_slice(&crc.to_le_bytes());
+        self.file.append(&trailer)?;
+        self.offset += payload.len() as u64 + BLOCK_TRAILER_SIZE as u64;
+        Ok(handle)
+    }
+
+    /// Flush remaining data, write filter/index/footer, and sync.
+    pub fn finish(mut self) -> Result<TableProperties> {
+        self.flush_data_block()?;
+
+        let filter_handle = match self.opts.bloom_bits_per_key {
+            Some(bits) if !self.filter_keys.is_empty() => {
+                let policy = BloomFilterPolicy::new(bits);
+                let refs: Vec<&[u8]> = self.filter_keys.iter().map(|k| k.as_slice()).collect();
+                let filter = policy.create_filter(&refs);
+                self.write_raw_block(&filter)?
+            }
+            _ => BlockHandle { offset: 0, size: 0 },
+        };
+
+        let mut index = BlockBuilder::new(1);
+        for (key, handle) in &self.index_entries {
+            let mut enc = Vec::with_capacity(20);
+            handle.encode_to(&mut enc);
+            index.add(key, &enc);
+        }
+        let index_handle = self.write_raw_block(&index.finish())?;
+
+        let footer = Footer {
+            filter_handle,
+            index_handle,
+        };
+        self.file.append(&footer.encode())?;
+        self.offset += crate::format::FOOTER_SIZE as u64;
+        self.file.sync()?;
+
+        Ok(TableProperties {
+            num_entries: self.num_entries,
+            file_size: self.offset,
+            smallest: self.smallest,
+            largest: self.largest,
+        })
+    }
+}

@@ -1,0 +1,139 @@
+//! Bloom filter policy for the LSM baselines.
+//!
+//! UniKV's headline design removes Bloom filters entirely ("we removed the
+//! Bloom filters of all SSTables to save memory and computation", paper
+//! §Differentiated Indexing), but the LevelDB/RocksDB-family baselines need
+//! them, and the motivation experiments quantify their false-positive cost.
+//!
+//! Standard double-hashing Bloom construction (Kirsch–Mitzenmacher).
+
+use unikv_common::hash;
+
+/// Builds and queries per-table Bloom filters.
+#[derive(Debug, Clone, Copy)]
+pub struct BloomFilterPolicy {
+    bits_per_key: usize,
+    k: usize,
+}
+
+impl BloomFilterPolicy {
+    /// Create a policy with `bits_per_key` bits per key (LevelDB default 10).
+    pub fn new(bits_per_key: usize) -> Self {
+        // k = bits_per_key * ln2, clamped to [1, 30].
+        let k = ((bits_per_key as f64) * 0.69) as usize;
+        BloomFilterPolicy {
+            bits_per_key,
+            k: k.clamp(1, 30),
+        }
+    }
+
+    /// Build a filter over `keys`, appending it to a fresh buffer.
+    pub fn create_filter(&self, keys: &[&[u8]]) -> Vec<u8> {
+        let mut bits = keys.len() * self.bits_per_key;
+        if bits < 64 {
+            bits = 64; // avoid high FP rate for tiny tables
+        }
+        let bytes = bits.div_ceil(8);
+        let bits = bytes * 8;
+        let mut filter = vec![0u8; bytes + 1];
+        filter[bytes] = self.k as u8;
+        for key in keys {
+            let mut h = hash::hash32(key, 0xbc9f_1d34);
+            let delta = h.rotate_right(17);
+            for _ in 0..self.k {
+                let bit = (h as usize) % bits;
+                filter[bit / 8] |= 1 << (bit % 8);
+                h = h.wrapping_add(delta);
+            }
+        }
+        filter
+    }
+
+    /// Query a filter produced by [`create_filter`](Self::create_filter).
+    pub fn key_may_match(key: &[u8], filter: &[u8]) -> bool {
+        if filter.len() < 2 {
+            return true; // malformed: fail open
+        }
+        let bytes = filter.len() - 1;
+        let bits = bytes * 8;
+        let k = filter[bytes] as usize;
+        if k > 30 {
+            return true; // reserved for future encodings: fail open
+        }
+        let mut h = hash::hash32(key, 0xbc9f_1d34);
+        let delta = h.rotate_right(17);
+        for _ in 0..k {
+            let bit = (h as usize) % bits;
+            if filter[bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            h = h.wrapping_add(delta);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("key-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_filter_fails_open() {
+        assert!(BloomFilterPolicy::key_may_match(b"x", &[]));
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let policy = BloomFilterPolicy::new(10);
+        for n in [1usize, 10, 100, 5000] {
+            let ks = keys(n);
+            let refs: Vec<&[u8]> = ks.iter().map(|k| k.as_slice()).collect();
+            let filter = policy.create_filter(&refs);
+            for k in &ks {
+                assert!(
+                    BloomFilterPolicy::key_may_match(k, &filter),
+                    "false negative for {k:?} at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let policy = BloomFilterPolicy::new(10);
+        let ks = keys(10_000);
+        let refs: Vec<&[u8]> = ks.iter().map(|k| k.as_slice()).collect();
+        let filter = policy.create_filter(&refs);
+        let mut fp = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            let missing = format!("absent-{i}").into_bytes();
+            if BloomFilterPolicy::key_may_match(&missing, &filter) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        // 10 bits/key targets ~1%; allow generous slack for hash quality.
+        assert!(rate < 0.04, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn fewer_bits_means_more_false_positives() {
+        let ks = keys(5_000);
+        let refs: Vec<&[u8]> = ks.iter().map(|k| k.as_slice()).collect();
+        let small = BloomFilterPolicy::new(2).create_filter(&refs);
+        let large = BloomFilterPolicy::new(16).create_filter(&refs);
+        let count_fp = |filter: &[u8]| {
+            (0..5_000)
+                .filter(|i| {
+                    BloomFilterPolicy::key_may_match(format!("no-{i}").as_bytes(), filter)
+                })
+                .count()
+        };
+        assert!(count_fp(&small) > count_fp(&large));
+    }
+}

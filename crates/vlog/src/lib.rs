@@ -1,0 +1,373 @@
+#![warn(missing_docs)]
+
+//! Value logs for partial KV separation (paper §Partial KV separation).
+//!
+//! Each partition owns a set of numbered, append-only log files. When keys
+//! merge from the UnsortedStore into the SortedStore, their values are
+//! appended here and the SortedStore keeps `<partition, logNumber, offset,
+//! length>` pointers. GC rewrites the live values of selected logs into a
+//! fresh log and deletes the old files.
+//!
+//! Record format: `varint32(len) | value | fixed32(masked crc of value)`.
+//! The pointer's `offset` addresses the record start and `length` the value
+//! payload, so a read can cross-check both framing and checksum.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use unikv_common::coding::{get_varint32, put_varint32, varint64_length};
+use unikv_common::{crc32c, Error, Result, ValuePointer};
+use unikv_env::{Env, RandomAccessFile, WritableFile};
+
+/// File-name suffix for value logs.
+pub const VLOG_SUFFIX: &str = "vlog";
+
+/// Build the file name of log `number`.
+pub fn vlog_file_name(number: u64) -> String {
+    format!("{number:06}.{VLOG_SUFFIX}")
+}
+
+/// Parse a value-log file name back to its number.
+pub fn parse_vlog_file_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(&format!(".{VLOG_SUFFIX}"))?;
+    stem.parse().ok()
+}
+
+/// Read and verify one value record at `offset` in a log file, expecting a
+/// value of `expected_len` bytes. Used both by [`ValueLog::read`] and by
+/// cross-partition pointer resolution after a split (children reading a
+/// parent's shared logs).
+pub fn read_value_record(
+    file: &dyn RandomAccessFile,
+    offset: u64,
+    expected_len: u32,
+) -> Result<Vec<u8>> {
+    // Record = varint32 len (<=5 bytes) + value + 4-byte crc.
+    let header_max = 5usize;
+    let want = header_max + expected_len as usize + 4;
+    let data = file.read_at(offset, want)?;
+    let (len, n) = get_varint32(&data)?;
+    if len != expected_len {
+        return Err(Error::corruption(format!(
+            "vlog length mismatch: pointer says {expected_len}, record says {len}"
+        )));
+    }
+    let end = n + len as usize;
+    if data.len() < end + 4 {
+        return Err(Error::corruption("vlog record truncated"));
+    }
+    let value = &data[n..end];
+    let stored = u32::from_le_bytes(data[end..end + 4].try_into().expect("4 bytes"));
+    if crc32c::unmask(stored) != crc32c::value(value) {
+        return Err(Error::corruption("vlog value crc mismatch"));
+    }
+    Ok(value.to_vec())
+}
+
+struct ActiveLog {
+    number: u64,
+    file: Box<dyn WritableFile>,
+}
+
+/// The set of value-log files belonging to one partition.
+///
+/// ```
+/// use unikv_vlog::ValueLog;
+/// use unikv_env::mem::MemEnv;
+///
+/// let mut vlog = ValueLog::open(MemEnv::shared(), "/p0", 0, 1 << 20).unwrap();
+/// let ptr = vlog.append(b"payload").unwrap();
+/// vlog.sync().unwrap();
+/// assert_eq!(vlog.read(&ptr).unwrap(), b"payload");
+/// ```
+pub struct ValueLog {
+    env: Arc<dyn Env>,
+    dir: PathBuf,
+    partition: u32,
+    max_log_size: u64,
+    active: Option<ActiveLog>,
+    next_number: u64,
+    /// Size per sealed/active log file.
+    sizes: HashMap<u64, u64>,
+    readers: Mutex<HashMap<u64, Arc<dyn RandomAccessFile>>>,
+}
+
+impl ValueLog {
+    /// Open (or create) the value-log set in `dir`. Existing `*.vlog`
+    /// files are discovered and become readable immediately.
+    pub fn open(
+        env: Arc<dyn Env>,
+        dir: impl Into<PathBuf>,
+        partition: u32,
+        max_log_size: u64,
+    ) -> Result<ValueLog> {
+        let dir = dir.into();
+        env.create_dir_all(&dir)?;
+        let mut sizes = HashMap::new();
+        let mut next_number = 1;
+        for name in env.list_dir(&dir)? {
+            if let Some(n) = name.to_str().and_then(parse_vlog_file_name) {
+                sizes.insert(n, env.file_size(&dir.join(name))?);
+                next_number = next_number.max(n + 1);
+            }
+        }
+        Ok(ValueLog {
+            env,
+            dir,
+            partition,
+            max_log_size,
+            active: None,
+            next_number,
+            sizes,
+            readers: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Partition id stamped into pointers.
+    pub fn partition(&self) -> u32 {
+        self.partition
+    }
+
+    fn log_path(&self, number: u64) -> PathBuf {
+        self.dir.join(vlog_file_name(number))
+    }
+
+    /// Force subsequent appends into a brand-new log file; returns its
+    /// number. Used by GC and by partition splits to segregate rewrites.
+    pub fn rotate(&mut self) -> Result<u64> {
+        if let Some(active) = &mut self.active {
+            active.file.sync()?;
+        }
+        self.active = None;
+        let number = self.next_number;
+        self.next_number += 1;
+        let file = self.env.new_writable(&self.log_path(number))?;
+        self.sizes.insert(number, 0);
+        self.active = Some(ActiveLog { number, file });
+        Ok(number)
+    }
+
+    /// Append `value`, returning its pointer. Rotates to a new log when the
+    /// active one exceeds the size limit.
+    pub fn append(&mut self, value: &[u8]) -> Result<ValuePointer> {
+        let needs_rotation = match &self.active {
+            None => true,
+            Some(a) => a.file.len() >= self.max_log_size,
+        };
+        if needs_rotation {
+            self.rotate()?;
+        }
+        let active = self.active.as_mut().expect("rotated above");
+        let offset = active.file.len();
+        let mut buf = Vec::with_capacity(value.len() + varint64_length(value.len() as u64) + 4);
+        put_varint32(&mut buf, value.len() as u32);
+        buf.extend_from_slice(value);
+        buf.extend_from_slice(&crc32c::mask(crc32c::value(value)).to_le_bytes());
+        active.file.append(&buf)?;
+        *self.sizes.get_mut(&active.number).expect("tracked") = active.file.len();
+        // Invalidate any cached reader snapshot for the active log so reads
+        // opened before this append still see it (MemEnv shares state, but
+        // FsEnv readers see appended data too; cache stays valid).
+        Ok(ValuePointer {
+            partition: self.partition,
+            log_number: active.number,
+            offset,
+            length: value.len() as u32,
+        })
+    }
+
+    /// Durably sync the active log.
+    pub fn sync(&mut self) -> Result<()> {
+        if let Some(active) = &mut self.active {
+            active.file.sync()?;
+        }
+        Ok(())
+    }
+
+    fn reader(&self, number: u64) -> Result<Arc<dyn RandomAccessFile>> {
+        let mut readers = self.readers.lock();
+        if let Some(r) = readers.get(&number) {
+            return Ok(r.clone());
+        }
+        let r = self.env.new_random_access(&self.log_path(number))?;
+        readers.insert(number, r.clone());
+        Ok(r)
+    }
+
+    /// Read the value addressed by `ptr`. The pointer's partition field is
+    /// not checked here: after a split, children legitimately read from a
+    /// parent's logs through their own [`ValueLog`] handle.
+    pub fn read(&self, ptr: &ValuePointer) -> Result<Vec<u8>> {
+        let reader = self.reader(ptr.log_number)?;
+        read_value_record(reader.as_ref(), ptr.offset, ptr.length)
+    }
+
+    /// Issue a readahead hint covering `ptr` (scan optimization: prefetch
+    /// values before the parallel fetch, paper §Scan Optimization).
+    pub fn readahead(&self, ptr: &ValuePointer) {
+        if let Ok(reader) = self.reader(ptr.log_number) {
+            reader.readahead(ptr.offset, ptr.length as usize + 9);
+        }
+    }
+
+    /// Numbers of all live logs, ascending.
+    pub fn log_numbers(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.sizes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Size of one log file.
+    pub fn log_size(&self, number: u64) -> Option<u64> {
+        self.sizes.get(&number).copied()
+    }
+
+    /// Total bytes across all logs.
+    pub fn total_size(&self) -> u64 {
+        self.sizes.values().sum()
+    }
+
+    /// Number of the log currently receiving appends, if any.
+    pub fn active_log(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.number)
+    }
+
+    /// Delete the given log files (post-GC). Deleting the active log seals
+    /// it first. Missing files are an error.
+    pub fn delete_logs(&mut self, numbers: &[u64]) -> Result<()> {
+        for &n in numbers {
+            if self.active.as_ref().is_some_and(|a| a.number == n) {
+                self.active = None;
+            }
+            self.readers.lock().remove(&n);
+            self.sizes.remove(&n);
+            self.env.delete_file(&self.log_path(n))?;
+        }
+        Ok(())
+    }
+
+    /// Directory holding the logs.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unikv_env::mem::MemEnv;
+
+    fn new_vlog(env: &Arc<MemEnv>, max: u64) -> ValueLog {
+        ValueLog::open(env.clone(), "/p0/vlog", 7, max).unwrap()
+    }
+
+    #[test]
+    fn file_name_roundtrip() {
+        assert_eq!(vlog_file_name(42), "000042.vlog");
+        assert_eq!(parse_vlog_file_name("000042.vlog"), Some(42));
+        assert_eq!(parse_vlog_file_name("junk"), None);
+        assert_eq!(parse_vlog_file_name("x.vlog"), None);
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let env = MemEnv::shared();
+        let mut vl = new_vlog(&env, 1 << 20);
+        let values: Vec<Vec<u8>> = (0..100u32)
+            .map(|i| format!("value-{i}").repeat(i as usize % 7 + 1).into_bytes())
+            .collect();
+        let ptrs: Vec<ValuePointer> = values.iter().map(|v| vl.append(v).unwrap()).collect();
+        vl.sync().unwrap();
+        for (v, p) in values.iter().zip(&ptrs) {
+            assert_eq!(p.partition, 7);
+            assert_eq!(&vl.read(p).unwrap(), v);
+            vl.readahead(p);
+        }
+    }
+
+    #[test]
+    fn rotation_bounds_log_size() {
+        let env = MemEnv::shared();
+        let mut vl = new_vlog(&env, 256);
+        for _ in 0..100 {
+            vl.append(&[9u8; 64]).unwrap();
+        }
+        let logs = vl.log_numbers();
+        assert!(logs.len() > 10, "expected many rotated logs, got {logs:?}");
+        for &n in &logs {
+            // Each log holds at most ~(max + one record) bytes.
+            assert!(vl.log_size(n).unwrap() <= 256 + 64 + 9);
+        }
+        assert_eq!(vl.total_size(), logs.iter().map(|&n| vl.log_size(n).unwrap()).sum::<u64>());
+    }
+
+    #[test]
+    fn delete_logs_removes_files() {
+        let env = MemEnv::shared();
+        let mut vl = new_vlog(&env, 64);
+        let mut ptrs = Vec::new();
+        for i in 0..20u8 {
+            ptrs.push(vl.append(&[i; 32]).unwrap());
+        }
+        let logs = vl.log_numbers();
+        let (victims, survivors) = logs.split_at(logs.len() / 2);
+        vl.delete_logs(victims).unwrap();
+        assert_eq!(vl.log_numbers(), survivors);
+        // Pointers into deleted logs now fail; survivors still read.
+        for p in &ptrs {
+            let ok = vl.read(p).is_ok();
+            assert_eq!(ok, survivors.contains(&p.log_number));
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_existing_logs() {
+        let env = MemEnv::shared();
+        let (ptrs, values): (Vec<_>, Vec<_>) = {
+            let mut vl = new_vlog(&env, 128);
+            let values: Vec<Vec<u8>> = (0..30u8).map(|i| vec![i; 40]).collect();
+            let ptrs: Vec<_> = values.iter().map(|v| vl.append(v).unwrap()).collect();
+            vl.sync().unwrap();
+            (ptrs, values)
+        };
+        let mut vl2 = new_vlog(&env, 128);
+        for (p, v) in ptrs.iter().zip(&values) {
+            assert_eq!(&vl2.read(p).unwrap(), v);
+        }
+        // New appends go to a fresh number beyond recovered ones.
+        let before = vl2.log_numbers().len();
+        let p = vl2.append(b"new").unwrap();
+        assert!(vl2.log_numbers().len() == before + 1);
+        assert_eq!(vl2.read(&p).unwrap(), b"new");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let env = MemEnv::shared();
+        let mut vl = new_vlog(&env, 1 << 20);
+        let p = vl.append(b"precious").unwrap();
+        vl.sync().unwrap();
+        // Corrupt the payload byte under the pointer.
+        let path = std::path::Path::new("/p0/vlog").join(vlog_file_name(p.log_number));
+        let mut data = env.read_to_vec(&path).unwrap();
+        data[p.offset as usize + 2] ^= 0x1;
+        let mut w = env.new_writable(&path).unwrap();
+        w.append(&data).unwrap();
+        drop(w);
+        // Drop the cached reader by reopening the set.
+        let vl2 = new_vlog(&env, 1 << 20);
+        assert!(vl2.read(&p).unwrap_err().is_corruption());
+        // Length mismatch also detected.
+        let bad = ValuePointer { length: p.length + 1, ..p };
+        assert!(vl2.read(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_value_roundtrip() {
+        let env = MemEnv::shared();
+        let mut vl = new_vlog(&env, 1 << 20);
+        let p = vl.append(b"").unwrap();
+        assert_eq!(vl.read(&p).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,179 @@
+//! Log reader: reassembles fragmented records and tolerates a torn tail.
+//!
+//! Replay semantics match LevelDB's default recovery: a checksum mismatch
+//! or truncated fragment ends the replay (the bytes are counted in
+//! [`LogReader::dropped_bytes`]) rather than failing it, because a crash
+//! mid-append legitimately leaves a torn final record.
+
+use crate::{RecordType, BLOCK_SIZE, HEADER_SIZE};
+use unikv_common::{crc32c, Result};
+use unikv_env::SequentialFile;
+
+/// Result of [`LogReader::read_record`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// A complete record was produced.
+    Record,
+    /// End of log (clean EOF or unreadable tail).
+    Eof,
+}
+
+/// Reads records from a log file sequentially.
+pub struct LogReader {
+    file: Box<dyn SequentialFile>,
+    block: Vec<u8>,
+    /// Valid bytes in `block`.
+    block_len: usize,
+    /// Read cursor within `block`.
+    pos: usize,
+    /// True once the underlying file hit EOF.
+    at_eof: bool,
+    dropped: u64,
+}
+
+enum Fragment {
+    Data(RecordType, std::ops::Range<usize>),
+    BlockEnd,
+    Eof,
+    Corrupt(usize),
+}
+
+impl LogReader {
+    /// Wrap a sequential file positioned at the start of the log.
+    pub fn new(file: Box<dyn SequentialFile>) -> Self {
+        LogReader {
+            file,
+            block: vec![0; BLOCK_SIZE],
+            block_len: 0,
+            pos: 0,
+            at_eof: false,
+            dropped: 0,
+        }
+    }
+
+    /// Bytes skipped due to corruption or a torn tail.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Read the next record into `out` (cleared first).
+    pub fn read_record(&mut self, out: &mut Vec<u8>) -> Result<ReadOutcome> {
+        out.clear();
+        let mut in_fragmented_record = false;
+        loop {
+            match self.next_fragment()? {
+                Fragment::Data(t, range) => match t {
+                    RecordType::Full => {
+                        if in_fragmented_record {
+                            // Unfinished earlier record: drop it, take this.
+                            self.dropped += out.len() as u64;
+                            out.clear();
+                        }
+                        out.extend_from_slice(&self.block[range]);
+                        return Ok(ReadOutcome::Record);
+                    }
+                    RecordType::First => {
+                        if in_fragmented_record {
+                            self.dropped += out.len() as u64;
+                            out.clear();
+                        }
+                        in_fragmented_record = true;
+                        out.extend_from_slice(&self.block[range]);
+                    }
+                    RecordType::Middle => {
+                        if !in_fragmented_record {
+                            self.dropped += range.len() as u64;
+                        } else {
+                            out.extend_from_slice(&self.block[range]);
+                        }
+                    }
+                    RecordType::Last => {
+                        if !in_fragmented_record {
+                            self.dropped += range.len() as u64;
+                        } else {
+                            out.extend_from_slice(&self.block[range]);
+                            return Ok(ReadOutcome::Record);
+                        }
+                    }
+                },
+                Fragment::BlockEnd => continue,
+                Fragment::Corrupt(len) => {
+                    // Treat as end of usable log.
+                    self.dropped += (len + out.len()) as u64;
+                    out.clear();
+                    return Ok(ReadOutcome::Eof);
+                }
+                Fragment::Eof => {
+                    if in_fragmented_record {
+                        // Torn spanning record at the tail.
+                        self.dropped += out.len() as u64;
+                        out.clear();
+                    }
+                    return Ok(ReadOutcome::Eof);
+                }
+            }
+        }
+    }
+
+    fn refill(&mut self) -> Result<()> {
+        self.block_len = 0;
+        self.pos = 0;
+        while self.block_len < BLOCK_SIZE {
+            let n = self.file.read(&mut self.block[self.block_len..])?;
+            if n == 0 {
+                self.at_eof = true;
+                break;
+            }
+            self.block_len += n;
+        }
+        Ok(())
+    }
+
+    fn next_fragment(&mut self) -> Result<Fragment> {
+        if self.block_len - self.pos < HEADER_SIZE {
+            // Less than a header left: block-tail padding, or a torn header
+            // at the end of the file.
+            let leftover = self.block_len - self.pos;
+            if leftover > 0
+                && self.at_eof
+                && self.block[self.pos..self.block_len].iter().any(|&b| b != 0)
+            {
+                self.dropped += leftover as u64;
+            }
+            self.pos = self.block_len;
+            if self.at_eof {
+                return Ok(Fragment::Eof);
+            }
+            self.refill()?;
+            if self.block_len == 0 {
+                return Ok(Fragment::Eof);
+            }
+            return Ok(Fragment::BlockEnd);
+        }
+
+        let header = &self.block[self.pos..self.pos + HEADER_SIZE];
+        let stored_crc = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let length = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes")) as usize;
+        let type_byte = header[6];
+
+        if type_byte == 0 && length == 0 && stored_crc == 0 {
+            // An all-zero header: preallocated/zeroed tail. End of usable log.
+            return Ok(Fragment::Eof);
+        }
+
+        let Some(t) = RecordType::from_u8(type_byte) else {
+            return Ok(Fragment::Corrupt(self.block_len - self.pos));
+        };
+        if self.pos + HEADER_SIZE + length > self.block_len {
+            return Ok(Fragment::Corrupt(self.block_len - self.pos));
+        }
+        let payload_start = self.pos + HEADER_SIZE;
+        let payload = &self.block[payload_start..payload_start + length];
+        let actual = crc32c::extend(crc32c::value(&[type_byte]), payload);
+        if crc32c::unmask(stored_crc) != actual {
+            return Ok(Fragment::Corrupt(self.block_len - self.pos));
+        }
+        self.pos = payload_start + length;
+        Ok(Fragment::Data(t, payload_start..payload_start + length))
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! Workload generation for the experiment harness: YCSB-style key
+//! distributions (uniform / zipfian / scrambled-zipfian / latest /
+//! sequential), the six YCSB core workloads, and ratio-based mixed
+//! read-write streams (the paper's Exp#2).
+//!
+//! All generators are deterministic given a seed, so every experiment run
+//! replays the identical operation stream against every engine.
+
+pub mod dist;
+pub mod ops;
+pub mod ycsb;
+
+pub use dist::{KeyChooser, LatestChooser, ScrambledZipfian, SequentialChooser, UniformChooser, Zipfian};
+pub use ops::{format_key, make_value, Op, OpKind};
+pub use ycsb::{MixedWorkload, YcsbWorkload, YcsbKind};

@@ -1,0 +1,75 @@
+//! Operation stream vocabulary and key/value materialization.
+
+/// Kinds of operations a workload can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Point read.
+    Read,
+    /// Overwrite an existing record.
+    Update,
+    /// Insert a new record (extends the keyspace).
+    Insert,
+    /// Range scan.
+    Scan,
+    /// Read-modify-write (YCSB F).
+    ReadModifyWrite,
+}
+
+/// One concrete operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Read `key`.
+    Read(Vec<u8>),
+    /// Write `key` with a fresh value of the workload's value size.
+    Update(Vec<u8>),
+    /// Insert a brand-new `key`.
+    Insert(Vec<u8>),
+    /// Scan `len` records starting at `key`.
+    Scan(Vec<u8>, usize),
+    /// Read then write back `key`.
+    ReadModifyWrite(Vec<u8>),
+}
+
+/// Materialize record index `i` as a fixed-width key (`user` + zero-padded
+/// decimal), matching YCSB's key shape and preserving numeric order.
+pub fn format_key(i: u64) -> Vec<u8> {
+    format!("user{i:012}").into_bytes()
+}
+
+/// Deterministic pseudo-random value of `len` bytes derived from `(i, tag)`.
+pub fn make_value(i: u64, tag: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut state = i
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(tag.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        | 1;
+    while out.len() < len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_preserve_order() {
+        assert!(format_key(1) < format_key(2));
+        assert!(format_key(99) < format_key(100));
+        assert_eq!(format_key(0).len(), format_key(u32::MAX as u64).len());
+    }
+
+    #[test]
+    fn values_deterministic_and_sized() {
+        assert_eq!(make_value(7, 1, 100), make_value(7, 1, 100));
+        assert_ne!(make_value(7, 1, 100), make_value(7, 2, 100));
+        assert_ne!(make_value(7, 1, 100), make_value(8, 1, 100));
+        assert_eq!(make_value(0, 0, 1234).len(), 1234);
+        assert_eq!(make_value(0, 0, 0).len(), 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! YCSB core workloads A–F and ratio-based mixed read/write streams.
+
+use crate::dist::{KeyChooser, LatestChooser, ScrambledZipfian, UniformChooser};
+use crate::ops::{format_key, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The six YCSB core workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbKind {
+    /// 50% reads / 50% updates, zipfian.
+    A,
+    /// 95% reads / 5% updates, zipfian.
+    B,
+    /// 100% reads, zipfian.
+    C,
+    /// 95% reads / 5% inserts, latest distribution.
+    D,
+    /// 95% scans / 5% inserts, zipfian, scan length ≤ 100.
+    E,
+    /// 50% reads / 50% read-modify-writes, zipfian.
+    F,
+}
+
+impl YcsbKind {
+    /// All six, in order.
+    pub fn all() -> [YcsbKind; 6] {
+        [
+            YcsbKind::A,
+            YcsbKind::B,
+            YcsbKind::C,
+            YcsbKind::D,
+            YcsbKind::E,
+            YcsbKind::F,
+        ]
+    }
+
+    /// Workload label ("A".."F").
+    pub fn name(&self) -> &'static str {
+        match self {
+            YcsbKind::A => "A",
+            YcsbKind::B => "B",
+            YcsbKind::C => "C",
+            YcsbKind::D => "D",
+            YcsbKind::E => "E",
+            YcsbKind::F => "F",
+        }
+    }
+
+    /// Human description used in experiment output.
+    pub fn description(&self) -> &'static str {
+        match self {
+            YcsbKind::A => "50% read / 50% update, zipfian",
+            YcsbKind::B => "95% read / 5% update, zipfian",
+            YcsbKind::C => "100% read, zipfian",
+            YcsbKind::D => "95% read / 5% insert, latest",
+            YcsbKind::E => "95% scan / 5% insert, zipfian",
+            YcsbKind::F => "50% read / 50% RMW, zipfian",
+        }
+    }
+}
+
+/// Generator for one YCSB workload over `record_count` preloaded records.
+pub struct YcsbWorkload {
+    kind: YcsbKind,
+    rng: StdRng,
+    chooser: Box<dyn KeyChooser>,
+    record_count: u64,
+    max_scan_len: usize,
+}
+
+impl YcsbWorkload {
+    /// Create a generator; `record_count` is the preloaded record count.
+    pub fn new(kind: YcsbKind, record_count: u64, seed: u64) -> Self {
+        let chooser: Box<dyn KeyChooser> = match kind {
+            YcsbKind::D => Box::new(LatestChooser::new(record_count)),
+            _ => Box::new(ScrambledZipfian::new(record_count)),
+        };
+        YcsbWorkload {
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+            chooser,
+            record_count,
+            max_scan_len: 100,
+        }
+    }
+
+    /// Current record count (grows with inserts).
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Next operation.
+    pub fn next_op(&mut self) -> Op {
+        let p: f64 = self.rng.gen();
+        match self.kind {
+            YcsbKind::A => {
+                if p < 0.5 {
+                    self.read()
+                } else {
+                    self.update()
+                }
+            }
+            YcsbKind::B => {
+                if p < 0.95 {
+                    self.read()
+                } else {
+                    self.update()
+                }
+            }
+            YcsbKind::C => self.read(),
+            YcsbKind::D => {
+                if p < 0.95 {
+                    self.read()
+                } else {
+                    self.insert()
+                }
+            }
+            YcsbKind::E => {
+                if p < 0.95 {
+                    self.scan()
+                } else {
+                    self.insert()
+                }
+            }
+            YcsbKind::F => {
+                if p < 0.5 {
+                    self.read()
+                } else {
+                    self.rmw()
+                }
+            }
+        }
+    }
+
+    fn pick(&mut self) -> Vec<u8> {
+        let k = self.chooser.next_key(&mut self.rng, self.record_count);
+        format_key(k)
+    }
+
+    fn read(&mut self) -> Op {
+        Op::Read(self.pick())
+    }
+
+    fn update(&mut self) -> Op {
+        Op::Update(self.pick())
+    }
+
+    fn insert(&mut self) -> Op {
+        let k = self.record_count;
+        self.record_count += 1;
+        Op::Insert(format_key(k))
+    }
+
+    fn scan(&mut self) -> Op {
+        let len = self.rng.gen_range(1..=self.max_scan_len);
+        Op::Scan(self.pick(), len)
+    }
+
+    fn rmw(&mut self) -> Op {
+        Op::ReadModifyWrite(self.pick())
+    }
+}
+
+/// Ratio-based mixed read/write stream (the paper's Exp#2: read ratios
+/// 0%, 25%, 50%, 75%, 100% under a skewed key distribution).
+pub struct MixedWorkload {
+    rng: StdRng,
+    chooser: Box<dyn KeyChooser>,
+    record_count: u64,
+    read_ratio: f64,
+}
+
+impl MixedWorkload {
+    /// `read_ratio` in `[0, 1]`; keys zipfian-scrambled unless
+    /// `uniform` is set.
+    pub fn new(read_ratio: f64, record_count: u64, uniform: bool, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&read_ratio));
+        let chooser: Box<dyn KeyChooser> = if uniform {
+            Box::new(UniformChooser)
+        } else {
+            Box::new(ScrambledZipfian::new(record_count))
+        };
+        MixedWorkload {
+            rng: StdRng::seed_from_u64(seed),
+            chooser,
+            record_count,
+            read_ratio,
+        }
+    }
+
+    /// Next operation.
+    pub fn next_op(&mut self) -> Op {
+        let k = self.chooser.next_key(&mut self.rng, self.record_count);
+        if self.rng.gen::<f64>() < self.read_ratio {
+            Op::Read(format_key(k))
+        } else {
+            Op::Update(format_key(k))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix_of(kind: YcsbKind, n: usize) -> (usize, usize, usize, usize, usize) {
+        let mut w = YcsbWorkload::new(kind, 10_000, 7);
+        let (mut r, mut u, mut i, mut s, mut f) = (0, 0, 0, 0, 0);
+        for _ in 0..n {
+            match w.next_op() {
+                Op::Read(_) => r += 1,
+                Op::Update(_) => u += 1,
+                Op::Insert(_) => i += 1,
+                Op::Scan(_, _) => s += 1,
+                Op::ReadModifyWrite(_) => f += 1,
+            }
+        }
+        (r, u, i, s, f)
+    }
+
+    #[test]
+    fn workload_mixes_match_spec() {
+        let n = 20_000;
+        let tol = |x: usize, expect: f64| {
+            let got = x as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.02,
+                "ratio {got} != expected {expect}"
+            );
+        };
+        let (r, u, i, s, f) = mix_of(YcsbKind::A, n);
+        tol(r, 0.5);
+        tol(u, 0.5);
+        assert_eq!(i + s + f, 0);
+
+        let (r, u, ..) = mix_of(YcsbKind::B, n);
+        tol(r, 0.95);
+        tol(u, 0.05);
+
+        let (r, u, i, s, f) = mix_of(YcsbKind::C, n);
+        assert_eq!((u, i, s, f), (0, 0, 0, 0));
+        assert_eq!(r, n);
+
+        let (r, _, i, ..) = mix_of(YcsbKind::D, n);
+        tol(r, 0.95);
+        tol(i, 0.05);
+
+        let (_, _, i, s, _) = mix_of(YcsbKind::E, n);
+        tol(s, 0.95);
+        tol(i, 0.05);
+
+        let (r, _, _, _, f) = mix_of(YcsbKind::F, n);
+        tol(r, 0.5);
+        tol(f, 0.5);
+    }
+
+    #[test]
+    fn inserts_extend_keyspace() {
+        let mut w = YcsbWorkload::new(YcsbKind::D, 100, 3);
+        let before = w.record_count();
+        for _ in 0..1000 {
+            w.next_op();
+        }
+        assert!(w.record_count() > before);
+    }
+
+    #[test]
+    fn scan_lengths_bounded() {
+        let mut w = YcsbWorkload::new(YcsbKind::E, 1000, 3);
+        for _ in 0..2000 {
+            if let Op::Scan(_, len) = w.next_op() {
+                assert!((1..=100).contains(&len));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_ratios() {
+        for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let mut w = MixedWorkload::new(ratio, 1000, false, 9);
+            let n = 10_000;
+            let reads = (0..n)
+                .filter(|_| matches!(w.next_op(), Op::Read(_)))
+                .count();
+            let got = reads as f64 / n as f64;
+            assert!((got - ratio).abs() < 0.02, "ratio {got} != {ratio}");
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let ops = |seed| {
+            let mut w = YcsbWorkload::new(YcsbKind::A, 1000, seed);
+            (0..100).map(|_| w.next_op()).collect::<Vec<_>>()
+        };
+        assert_eq!(ops(5), ops(5));
+        assert_ne!(ops(5), ops(6));
+    }
+}

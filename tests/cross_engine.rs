@@ -1,0 +1,151 @@
+//! Cross-crate integration: the same randomized workload applied to
+//! UniKV, all four LSM baselines, and a BTreeMap reference model must
+//! produce identical read/scan results everywhere.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use unikv::{UniKv, UniKvOptions};
+use unikv_env::mem::MemEnv;
+use unikv_lsm::{Baseline, LsmDb, LsmOptions};
+
+fn small_lsm(b: Baseline) -> LsmOptions {
+    let mut o = LsmOptions::baseline(b);
+    o.write_buffer_size = 8 << 10;
+    o.table_size = 8 << 10;
+    o.base_level_bytes = 32 << 10;
+    o
+}
+
+enum AnyDb {
+    Uni(UniKv),
+    Lsm(LsmDb),
+}
+
+impl AnyDb {
+    fn put(&self, k: &[u8], v: &[u8]) {
+        match self {
+            AnyDb::Uni(db) => db.put(k, v).unwrap(),
+            AnyDb::Lsm(db) => db.put(k, v).unwrap(),
+        }
+    }
+    fn delete(&self, k: &[u8]) {
+        match self {
+            AnyDb::Uni(db) => db.delete(k).unwrap(),
+            AnyDb::Lsm(db) => db.delete(k).unwrap(),
+        }
+    }
+    fn get(&self, k: &[u8]) -> Option<Vec<u8>> {
+        match self {
+            AnyDb::Uni(db) => db.get(k).unwrap(),
+            AnyDb::Lsm(db) => db.get(k).unwrap(),
+        }
+    }
+    fn scan(&self, from: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let items = match self {
+            AnyDb::Uni(db) => db.scan(from, limit).unwrap(),
+            AnyDb::Lsm(db) => db.scan(from, limit).unwrap(),
+        };
+        items.into_iter().map(|i| (i.key, i.value)).collect()
+    }
+}
+
+fn engines() -> Vec<(String, AnyDb)> {
+    let mut v = Vec::new();
+    let env = MemEnv::shared();
+    v.push((
+        "unikv".to_string(),
+        AnyDb::Uni(UniKv::open(env, "/u", UniKvOptions::small_for_tests()).unwrap()),
+    ));
+    for b in Baseline::all() {
+        let env = MemEnv::shared();
+        v.push((
+            b.name().to_string(),
+            AnyDb::Lsm(LsmDb::open(env, Path::new("/l"), small_lsm(b)).unwrap()),
+        ));
+    }
+    v
+}
+
+#[test]
+fn all_engines_agree_with_model() {
+    let engines = engines();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut rng: u64 = 0xfeed_beef;
+    let mut next = |m: u64| {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (rng >> 33) % m
+    };
+
+    for step in 0..4000u64 {
+        let k = format!("key{:06}", next(500)).into_bytes();
+        if next(10) == 0 {
+            model.remove(&k);
+            for (_, e) in &engines {
+                e.delete(&k);
+            }
+        } else {
+            let v = format!("v{step}-").into_bytes().repeat(3 + (step % 11) as usize);
+            model.insert(k.clone(), v.clone());
+            for (_, e) in &engines {
+                e.put(&k, &v);
+            }
+        }
+    }
+
+    // Point reads.
+    for i in 0..500u64 {
+        let k = format!("key{i:06}").into_bytes();
+        let expect = model.get(&k).cloned();
+        for (name, e) in &engines {
+            assert_eq!(e.get(&k), expect, "{name} disagrees on key {i}");
+        }
+    }
+
+    // Scans from assorted positions.
+    for from in ["", "key000100", "key000250", "key000499", "zzz"] {
+        let expect: Vec<(Vec<u8>, Vec<u8>)> = model
+            .range(from.as_bytes().to_vec()..)
+            .take(17)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (name, e) in &engines {
+            assert_eq!(
+                e.scan(from.as_bytes(), 17),
+                expect,
+                "{name} disagrees on scan from {from:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_after_reopen() {
+    let uni_env = MemEnv::shared();
+    let lsm_env = MemEnv::shared();
+    let n = 800u32;
+    {
+        let uni = UniKv::open(uni_env.clone(), "/u", UniKvOptions::small_for_tests()).unwrap();
+        let lsm = LsmDb::open(
+            lsm_env.clone(),
+            Path::new("/l"),
+            small_lsm(Baseline::LevelDb),
+        )
+        .unwrap();
+        for i in 0..n {
+            let k = format!("k{i:05}");
+            let v = format!("value-{i}").repeat(4);
+            uni.put(k.as_bytes(), v.as_bytes()).unwrap();
+            lsm.put(k.as_bytes(), v.as_bytes()).unwrap();
+        }
+    }
+    let uni = UniKv::open(uni_env, "/u", UniKvOptions::small_for_tests()).unwrap();
+    let lsm = LsmDb::open(lsm_env, Path::new("/l"), small_lsm(Baseline::LevelDb)).unwrap();
+    for i in (0..n).step_by(31) {
+        let k = format!("k{i:05}");
+        let expect = Some(format!("value-{i}").repeat(4).into_bytes());
+        assert_eq!(uni.get(k.as_bytes()).unwrap(), expect, "unikv key {i}");
+        assert_eq!(lsm.get(k.as_bytes()).unwrap(), expect, "lsm key {i}");
+    }
+}
