@@ -130,7 +130,7 @@ pub fn varint64_length(v: u64) -> usize {
     if v == 0 {
         1
     } else {
-        (64 - v.leading_zeros() as usize + 6) / 7
+        (64 - v.leading_zeros() as usize).div_ceil(7)
     }
 }
 

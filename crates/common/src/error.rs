@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn io_conversion_preserves_source() {
-        let e: Error = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire").into();
+        let e: Error = std::io::Error::other("disk on fire").into();
         assert!(matches!(e, Error::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
     }

@@ -129,12 +129,16 @@ impl InternalKey {
 
     /// The sequence number.
     pub fn sequence(&self) -> SequenceNumber {
-        extract_seq_type(&self.encoded).expect("validated at construction").0
+        extract_seq_type(&self.encoded)
+            .expect("validated at construction")
+            .0
     }
 
     /// The value type.
     pub fn value_type(&self) -> ValueType {
-        extract_seq_type(&self.encoded).expect("validated at construction").1
+        extract_seq_type(&self.encoded)
+            .expect("validated at construction")
+            .1
     }
 }
 

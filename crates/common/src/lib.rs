@@ -16,6 +16,7 @@ pub mod hash;
 pub mod ikey;
 pub mod keyrange;
 pub mod pointer;
+pub mod rng;
 
 pub use error::{Error, Result};
 pub use ikey::{InternalKey, SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER};

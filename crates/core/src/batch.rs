@@ -70,11 +70,13 @@ impl WriteBatch {
 /// Encode a slice of batch ops (already assigned a base sequence) as one
 /// WAL record: `count | (type, key, value)*`. The base sequence travels in
 /// the surrounding record framing via the first op's sequence.
-pub(crate) fn encode_batch_record(
-    base_seq: u64,
-    ops: &[(ValueType, Vec<u8>, Vec<u8>)],
-) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 + ops.iter().map(|(_, k, v)| k.len() + v.len() + 8).sum::<usize>());
+pub(crate) fn encode_batch_record(base_seq: u64, ops: &[(ValueType, Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        16 + ops
+            .iter()
+            .map(|(_, k, v)| k.len() + v.len() + 8)
+            .sum::<usize>(),
+    );
     unikv_common::coding::put_varint64(&mut out, base_seq);
     unikv_common::coding::put_varint32(&mut out, ops.len() as u32);
     for (t, k, v) in ops {
@@ -87,9 +89,8 @@ pub(crate) fn encode_batch_record(
 
 /// Decode a record produced by [`encode_batch_record`]. Yields
 /// `(seq, type, key, value)` tuples with consecutive sequences.
-pub(crate) fn decode_batch_record(
-    rec: &[u8],
-) -> Result<Vec<(u64, ValueType, Vec<u8>, Vec<u8>)>> {
+#[allow(clippy::type_complexity)]
+pub(crate) fn decode_batch_record(rec: &[u8]) -> Result<Vec<(u64, ValueType, Vec<u8>, Vec<u8>)>> {
     let (base_seq, mut pos) = unikv_common::coding::get_varint64(rec)?;
     let (count, n) = unikv_common::coding::get_varint32(&rec[pos..])?;
     pos += n;
@@ -140,7 +141,10 @@ mod tests {
         let rec = encode_batch_record(41, &ops);
         let decoded = decode_batch_record(&rec).unwrap();
         assert_eq!(decoded.len(), 3);
-        assert_eq!(decoded[0], (41, ValueType::Value, b"k1".to_vec(), b"v1".to_vec()));
+        assert_eq!(
+            decoded[0],
+            (41, ValueType::Value, b"k1".to_vec(), b"v1".to_vec())
+        );
         assert_eq!(decoded[1].0, 42);
         assert_eq!(decoded[1].1, ValueType::Deletion);
         assert_eq!(decoded[2].0, 43);

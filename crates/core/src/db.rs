@@ -21,16 +21,19 @@
 //! (the paper's `GC_done` marker generalized); files written before a
 //! crash that never got committed are orphans removed during recovery.
 
+use crate::batch::{decode_batch_record, encode_batch_record, WriteBatch};
 use crate::fetch::FetchPool;
+use crate::maintenance::{stall_level, worker_loop, Job, JobKind, MaintState, StallLevel};
 use crate::meta::{DbMeta, LogRef, PartitionMeta, TableMeta};
 use crate::options::UniKvOptions;
-use crate::partition::{checkpoint_due, table_options, Partition, INDEX_CKPT};
+use crate::partition::{checkpoint_due, table_options, Partition, SealedMem, INDEX_CKPT};
 use crate::resolver::{partition_dir, ValueResolver};
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use unikv_common::ikey::{
     extract_seq_type, extract_user_key, make_internal_key, SequenceNumber, ValueType,
 };
@@ -38,10 +41,11 @@ use unikv_common::pointer::SeparatedValue;
 use unikv_common::{Error, Result};
 use unikv_env::Env;
 use unikv_hashindex::TwoLevelHashIndex;
-use crate::batch::{decode_batch_record, encode_batch_record, WriteBatch};
 use unikv_lsm::db::ScanItem;
 use unikv_lsm::filenames;
-use unikv_lsm::iter::{ConcatSource, InternalIterator, MemTableSource, MergingIterator, TableSource};
+use unikv_lsm::iter::{
+    ConcatSource, InternalIterator, MemTableSource, MergingIterator, TableSource,
+};
 use unikv_memtable::{LookupResult, MemTable};
 use unikv_sstable::{BlockCache, Table, TableBuilder, TableBuilderOptions, TableOptions};
 use unikv_vlog::{parse_vlog_file_name, vlog_file_name, ValueLog};
@@ -78,10 +82,24 @@ pub struct UniKvStats {
     pub memtable_hits: AtomicU64,
     /// Hash-index candidates that failed key verification.
     pub index_false_positives: AtomicU64,
+    /// Microseconds foreground writes spent stalled (slowdowns + stops).
+    pub stall_time_micros: AtomicU64,
+    /// Writes that hit the slowdown threshold.
+    pub stall_slowdowns: AtomicU64,
+    /// Writes that hit the hard-stop threshold.
+    pub stall_stops: AtomicU64,
+    /// Background maintenance jobs enqueued.
+    pub maint_jobs_scheduled: AtomicU64,
+    /// Background maintenance jobs completed successfully.
+    pub maint_jobs_completed: AtomicU64,
+    /// Background maintenance jobs that failed (poisoning the database).
+    pub maint_jobs_failed: AtomicU64,
+    /// Most recently observed maintenance queue depth.
+    pub maint_queue_depth: AtomicU64,
 }
 
 impl UniKvStats {
-    fn add(c: &AtomicU64, v: u64) {
+    pub(crate) fn add(c: &AtomicU64, v: u64) {
         c.fetch_add(v, Ordering::Relaxed);
     }
 
@@ -116,6 +134,13 @@ impl UniKvStats {
             ("tables_checked", l(&self.tables_checked)),
             ("memtable_hits", l(&self.memtable_hits)),
             ("index_false_positives", l(&self.index_false_positives)),
+            ("stall_time_micros", l(&self.stall_time_micros)),
+            ("stall_slowdowns", l(&self.stall_slowdowns)),
+            ("stall_stops", l(&self.stall_stops)),
+            ("maint_jobs_scheduled", l(&self.maint_jobs_scheduled)),
+            ("maint_jobs_completed", l(&self.maint_jobs_completed)),
+            ("maint_jobs_failed", l(&self.maint_jobs_failed)),
+            ("maint_queue_depth", l(&self.maint_queue_depth)),
         ]
     }
 }
@@ -143,6 +168,13 @@ impl DbCore {
         idx.saturating_sub(1)
     }
 
+    /// Current index of the partition with id `pid`, if it still exists.
+    /// Background jobs address partitions by id because indexes shift
+    /// whenever another partition splits.
+    fn partition_index(&self, pid: u32) -> Option<usize> {
+        self.partitions.iter().position(|p| p.meta.id == pid)
+    }
+
     fn to_meta(&self) -> DbMeta {
         DbMeta {
             partitions: self.partitions.iter().map(|p| p.meta.clone()).collect(),
@@ -153,23 +185,25 @@ impl DbCore {
     }
 }
 
-/// The UniKV database handle. Cloneable via `Arc`; all methods take `&self`.
-pub struct UniKv {
-    env: Arc<dyn Env>,
+/// Engine state shared between the public handle and the maintenance
+/// worker threads. All database logic lives here; [`UniKv`] is a thin
+/// wrapper that owns the workers' join handles.
+pub(crate) struct DbInner {
+    pub(crate) env: Arc<dyn Env>,
     root: PathBuf,
-    opts: UniKvOptions,
+    pub(crate) opts: UniKvOptions,
     topts: TableOptions,
     core: RwLock<DbCore>,
     resolver: Arc<ValueResolver>,
     fetch_pool: FetchPool,
-    stats: Arc<UniKvStats>,
+    pub(crate) stats: Arc<UniKvStats>,
+    pub(crate) maint: MaintState,
 }
 
-impl UniKv {
-    /// Open (creating or recovering) a database under `root`.
-    pub fn open(env: Arc<dyn Env>, root: impl Into<PathBuf>, opts: UniKvOptions) -> Result<UniKv> {
+impl DbInner {
+    /// Open (creating or recovering) the engine state under `root`.
+    fn open_inner(env: Arc<dyn Env>, root: PathBuf, opts: UniKvOptions) -> Result<DbInner> {
         opts.validate()?;
-        let root = root.into();
         env.create_dir_all(&root)?;
         let cache = (opts.block_cache_bytes > 0).then(|| BlockCache::new(opts.block_cache_bytes));
         let topts = table_options(cache);
@@ -230,7 +264,7 @@ impl UniKv {
         core.next_file = next_file;
         core.partitions.sort_by(|a, b| a.meta.lo.cmp(&b.meta.lo));
 
-        let db = UniKv {
+        let db = DbInner {
             resolver: Arc::new(ValueResolver::new(env.clone(), root.clone())),
             fetch_pool: FetchPool::new(opts.value_fetch_threads),
             env,
@@ -239,6 +273,7 @@ impl UniKv {
             topts,
             core: RwLock::new(core),
             stats,
+            maint: MaintState::new(),
         };
 
         // Flush any memtable rebuilt from a WAL so the on-disk state is
@@ -327,6 +362,9 @@ impl UniKv {
         if key.is_empty() {
             return Err(Error::invalid_argument("empty keys are not supported"));
         }
+        if self.opts.background_jobs > 0 {
+            self.wait_for_write_room(Some(key))?;
+        }
         let mut core = self.core.write();
         core.last_seq += 1;
         let seq = core.last_seq;
@@ -346,8 +384,14 @@ impl UniKv {
             (key.len() + value.len()) as u64,
         );
         if p.mem.approximate_memory_usage() >= self.opts.write_buffer_size {
-            self.flush_partition(&mut core, pidx)?;
-            self.run_triggers(&mut core, pidx)?;
+            if self.opts.background_jobs > 0 {
+                let pid = core.partitions[pidx].meta.id;
+                self.seal_memtable(&mut core, pidx)?;
+                self.schedule(JobKind::Flush, pid);
+            } else {
+                self.flush_partition(&mut core, pidx)?;
+                self.run_triggers(&mut core, pidx)?;
+            }
         }
         Ok(())
     }
@@ -360,10 +404,14 @@ impl UniKv {
         if batch.is_empty() {
             return Ok(());
         }
+        if self.opts.background_jobs > 0 {
+            self.wait_for_write_room(None)?;
+        }
         let mut core = self.core.write();
         // Assign sequences in batch order, grouped per partition.
         let base = core.last_seq + 1;
         core.last_seq += batch.ops.len() as u64;
+        #[allow(clippy::type_complexity)]
         let mut per_partition: Vec<Vec<(u64, ValueType, Vec<u8>, Vec<u8>)>> =
             vec![Vec::new(); core.partitions.len()];
         for (i, (t, k, v)) in batch.ops.iter().enumerate() {
@@ -389,18 +437,19 @@ impl UniKv {
             for (seq, t, k, v) in slice {
                 let slot = SeparatedValue::Inline(v.clone()).encode();
                 core.partitions[pidx].mem.add(*seq, *t, k, &slot);
-                UniKvStats::add(
-                    &self.stats.user_bytes_written,
-                    (k.len() + v.len()) as u64,
-                );
+                UniKvStats::add(&self.stats.user_bytes_written, (k.len() + v.len()) as u64);
             }
         }
         for pidx in 0..core.partitions.len() {
-            if core.partitions[pidx].mem.approximate_memory_usage()
-                >= self.opts.write_buffer_size
-            {
-                self.flush_partition(&mut core, pidx)?;
-                self.run_triggers(&mut core, pidx)?;
+            if core.partitions[pidx].mem.approximate_memory_usage() >= self.opts.write_buffer_size {
+                if self.opts.background_jobs > 0 {
+                    let pid = core.partitions[pidx].meta.id;
+                    self.seal_memtable(&mut core, pidx)?;
+                    self.schedule(JobKind::Flush, pid);
+                } else {
+                    self.flush_partition(&mut core, pidx)?;
+                    self.run_triggers(&mut core, pidx)?;
+                }
             }
         }
         Ok(())
@@ -408,9 +457,10 @@ impl UniKv {
 
     /// Force all memtables to disk.
     pub fn flush(&self) -> Result<()> {
+        let _pause = self.pause_maintenance()?;
         let mut core = self.core.write();
         for i in 0..core.partitions.len() {
-            if !core.partitions[i].mem.is_empty() {
+            if !core.partitions[i].mem.is_empty() || !core.partitions[i].imms.is_empty() {
                 self.flush_partition(&mut core, i)?;
             }
         }
@@ -422,9 +472,10 @@ impl UniKv {
 
     /// Force a full merge (UnsortedStore → SortedStore) in every partition.
     pub fn compact_all(&self) -> Result<()> {
+        let _pause = self.pause_maintenance()?;
         let mut core = self.core.write();
         for i in 0..core.partitions.len() {
-            if !core.partitions[i].mem.is_empty() {
+            if !core.partitions[i].mem.is_empty() || !core.partitions[i].imms.is_empty() {
                 self.flush_partition(&mut core, i)?;
             }
             if !core.partitions[i].meta.unsorted.is_empty() {
@@ -437,11 +488,111 @@ impl UniKv {
     /// Run GC on every partition regardless of the garbage ratio
     /// (test/maintenance hook).
     pub fn force_gc(&self) -> Result<()> {
+        let _pause = self.pause_maintenance()?;
         let mut core = self.core.write();
         for i in 0..core.partitions.len() {
             self.gc_partition(&mut core, i)?;
         }
         Ok(())
+    }
+
+    /// Quiesce background maintenance for the duration of a foreground
+    /// structural operation. In inline mode this is free; in background
+    /// mode it blocks new jobs from starting and waits for inflight ones,
+    /// and surfaces a prior background failure as an error.
+    fn pause_maintenance(&self) -> Result<Option<crate::maintenance::PauseGuard<'_>>> {
+        if let Some(err) = self.maint.poisoned_error() {
+            return Err(err);
+        }
+        if self.opts.background_jobs == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.maint.pause()))
+    }
+
+    /// Enqueue a background job (no-op in inline mode; duplicates collapse).
+    fn schedule(&self, kind: JobKind, partition: u32) {
+        if self.opts.background_jobs == 0 {
+            return;
+        }
+        if let Some(depth) = self.maint.schedule(Job { kind, partition }) {
+            UniKvStats::add(&self.stats.maint_jobs_scheduled, 1);
+            self.stats
+                .maint_queue_depth
+                .store(depth as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Backpressure: before a write proceeds, brake against the routed
+    /// partition's debt (sealed memtables awaiting flush, UnsortedStore
+    /// merge backlog). `key = None` (batches, which may touch any
+    /// partition) brakes against the worst partition.
+    fn wait_for_write_room(&self, key: Option<&[u8]>) -> Result<()> {
+        let mut slowed = false;
+        let mut stopped = false;
+        let start = Instant::now();
+        let result = loop {
+            if let Some(err) = self.maint.poisoned_error() {
+                break Err(err);
+            }
+            let (level, pid, imms, unsorted) = {
+                let core = self.core.read();
+                let eval = |p: &Partition| {
+                    (
+                        stall_level(p.imms.len(), p.meta.unsorted.len(), &self.opts),
+                        p.meta.id,
+                        p.imms.len(),
+                        p.meta.unsorted.len(),
+                    )
+                };
+                match key {
+                    Some(k) => eval(&core.partitions[core.route(k)]),
+                    None => core
+                        .partitions
+                        .iter()
+                        .map(eval)
+                        .max_by_key(|t| t.0)
+                        .unwrap_or((StallLevel::None, 0, 0, 0)),
+                }
+            };
+            match level {
+                StallLevel::None => break Ok(()),
+                StallLevel::Slowdown => {
+                    // Brake once, then let the write through: the goal is
+                    // to shave the ingest rate, not to serialize on the
+                    // background queue.
+                    if !slowed {
+                        slowed = true;
+                        UniKvStats::add(&self.stats.stall_slowdowns, 1);
+                        std::thread::sleep(Duration::from_micros(self.opts.stall_sleep_micros));
+                    }
+                    break Ok(());
+                }
+                StallLevel::Stop => {
+                    if !stopped {
+                        stopped = true;
+                        UniKvStats::add(&self.stats.stall_stops, 1);
+                    }
+                    // Defensive re-schedule: the jobs that pay the debt
+                    // down are normally already queued, but a dropped
+                    // wakeup must not wedge the writer forever.
+                    if imms > 0 {
+                        self.schedule(JobKind::Flush, pid);
+                    }
+                    if unsorted >= self.opts.slowdown_unsorted_tables {
+                        self.schedule(JobKind::Merge, pid);
+                    }
+                    self.maint.wait_for_progress(Duration::from_millis(10));
+                }
+            }
+        };
+        if slowed || stopped {
+            UniKvStats::add(
+                &self.stats.stall_time_micros,
+                start.elapsed().as_micros() as u64,
+            );
+        }
+        result
     }
 
     // ---------------------------------------------------------------
@@ -454,17 +605,20 @@ impl UniKv {
         let snapshot = core.last_seq;
         let p = &core.partitions[core.route(key)];
 
-        // 1. Memtable.
-        match p.mem.get(key, snapshot) {
-            LookupResult::Value(slot) => {
-                UniKvStats::add(&self.stats.memtable_hits, 1);
-                return self.resolve_slot(&slot).map(Some);
+        // 1. Memtables: the active one, then sealed ones newest-first
+        //    (sealed memtables hold data newer than any flushed table).
+        for mem in std::iter::once(&p.mem).chain(p.imms.iter().rev().map(|s| &s.mem)) {
+            match mem.get(key, snapshot) {
+                LookupResult::Value(slot) => {
+                    UniKvStats::add(&self.stats.memtable_hits, 1);
+                    return self.resolve_slot(&slot).map(Some);
+                }
+                LookupResult::Deleted => {
+                    UniKvStats::add(&self.stats.memtable_hits, 1);
+                    return Ok(None);
+                }
+                LookupResult::NotFound => {}
             }
-            LookupResult::Deleted => {
-                UniKvStats::add(&self.stats.memtable_hits, 1);
-                return Ok(None);
-            }
-            LookupResult::NotFound => {}
         }
 
         let seek_key = make_internal_key(key, snapshot, ValueType::Value);
@@ -487,8 +641,7 @@ impl UniKv {
             }
         } else {
             for tmeta in p.unsorted_newest_first() {
-                if extract_user_key(&tmeta.smallest) > key
-                    || extract_user_key(&tmeta.largest) < key
+                if extract_user_key(&tmeta.smallest) > key || extract_user_key(&tmeta.largest) < key
                 {
                     continue;
                 }
@@ -618,7 +771,9 @@ impl UniKv {
                 iter.next()?;
             }
         }
-        drop(core);
+        // The read lock stays held through value resolution: dropping it
+        // here would let a concurrent GC delete the log files the
+        // collected pointers reference.
 
         // Resolve value slots; pointers fetched in parallel with readahead
         // (scan optimization; sequential when disabled).
@@ -662,17 +817,12 @@ impl UniKv {
             });
             // Pin every log the partition's pointers may reference, so GC
             // deleting files cannot invalidate this snapshot.
-            let refs = p
-                .meta
-                .own_logs
-                .iter()
-                .map(|&n| (p.meta.id, n))
-                .chain(
-                    p.meta
-                        .inherited_logs
-                        .iter()
-                        .map(|r| (r.partition, r.log_number)),
-                );
+            let refs = p.meta.own_logs.iter().map(|&n| (p.meta.id, n)).chain(
+                p.meta
+                    .inherited_logs
+                    .iter()
+                    .map(|r| (r.partition, r.log_number)),
+            );
             for (pid, log) in refs {
                 if let std::collections::hash_map::Entry::Vacant(e) = pinned.entry((pid, log)) {
                     let path = partition_dir(&self.root, pid).join(vlog_file_name(log));
@@ -693,6 +843,9 @@ impl UniKv {
     fn partition_iter(&self, p: &Partition) -> Result<MergingIterator> {
         let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
         children.push(Box::new(MemTableSource::new(p.mem.clone())));
+        for sealed in &p.imms {
+            children.push(Box::new(MemTableSource::new(sealed.mem.clone())));
+        }
         for tmeta in &p.meta.unsorted {
             let table = self.open_table(p, tmeta.number)?;
             children.push(Box::new(TableSource::new(&table)));
@@ -735,8 +888,161 @@ impl UniKv {
         Ok(())
     }
 
+    /// Background-mode counterpart of [`Self::run_triggers`]: enqueue jobs
+    /// for whatever thresholds partition `pidx` currently exceeds. Each
+    /// job re-checks its trigger when it runs, so over-scheduling is
+    /// harmless (and duplicates collapse in the queue).
+    fn schedule_triggers(&self, core: &DbCore, pidx: usize) {
+        let p = &core.partitions[pidx];
+        let pid = p.meta.id;
+        if !p.imms.is_empty() {
+            self.schedule(JobKind::Flush, pid);
+        }
+        if p.unsorted_bytes() >= self.opts.unsorted_limit_bytes {
+            self.schedule(JobKind::Merge, pid);
+        } else if self.opts.enable_scan_optimization
+            && p.meta.unsorted.len() >= self.opts.scan_merge_limit
+        {
+            self.schedule(JobKind::ScanMerge, pid);
+        }
+        if self.gc_due(p) {
+            self.schedule(JobKind::Gc, pid);
+        }
+        if self.opts.enable_partitioning && p.logical_size() > self.opts.partition_size_limit {
+            self.schedule(JobKind::Split, pid);
+        }
+    }
+
+    /// Seal the active memtable for background flushing: the frozen
+    /// memtable stays visible to reads via `imms`, its WAL is recorded in
+    /// `sealed_wals` and committed to META (so recovery replays it until
+    /// the flush lands), and writes continue on a fresh memtable + WAL.
+    fn seal_memtable(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        let new_wal = core.alloc_file();
+        let p = &mut core.partitions[pidx];
+        if p.mem.is_empty() {
+            return Ok(());
+        }
+        p.wal.sync()?;
+        let dir = partition_dir(&self.root, p.meta.id);
+        let sealed = std::mem::replace(&mut p.mem, Arc::new(MemTable::new()));
+        let old_wal = p.meta.wal_number;
+        p.wal = LogWriter::new(self.env.new_writable(&filenames::wal_file(&dir, new_wal))?);
+        p.meta.wal_number = new_wal;
+        p.meta.sealed_wals.push(old_wal);
+        p.imms.push(SealedMem {
+            wal_number: old_wal,
+            mem: sealed,
+        });
+        self.commit_meta(core)
+    }
+
+    /// Write a memtable out as one UnsortedStore table, deduping to the
+    /// newest version per user key. Takes no locks: background flushes
+    /// call it with the core lock released. Returns the table metadata
+    /// and the kept user keys (for hash-index insertion at install time).
+    fn build_flush_table(
+        &self,
+        dir: &Path,
+        table_number: u64,
+        mem: Arc<MemTable>,
+    ) -> Result<(TableMeta, Vec<Vec<u8>>)> {
+        let mut builder = TableBuilder::new(
+            self.env
+                .new_writable(&filenames::table_file(dir, table_number))?,
+            self.table_builder_opts(),
+        );
+        let mut keys = Vec::new();
+        let mut iter = MemTableSource::new(mem);
+        iter.seek_to_first()?;
+        let mut last_user_key: Option<Vec<u8>> = None;
+        while iter.valid() {
+            let user_key = extract_user_key(iter.ikey());
+            if last_user_key.as_deref() != Some(user_key) {
+                last_user_key = Some(user_key.to_vec());
+                builder.add(iter.ikey(), iter.value())?;
+                if self.opts.enable_hash_index {
+                    keys.push(user_key.to_vec());
+                }
+            }
+            iter.next()?;
+        }
+        let props = builder.finish()?;
+        Ok((
+            TableMeta {
+                number: table_number,
+                size: props.file_size,
+                smallest: props.smallest,
+                largest: props.largest,
+            },
+            keys,
+        ))
+    }
+
+    /// Install a flushed table under the write lock: append it to the
+    /// UnsortedStore, feed the hash index, retire the flushed WAL
+    /// (`sealed = true` pops the matching sealed memtable), checkpoint the
+    /// index on cadence, and commit META.
+    fn install_flush(
+        &self,
+        core: &mut DbCore,
+        pidx: usize,
+        tmeta: TableMeta,
+        keys: &[Vec<u8>],
+        old_wal: u64,
+        sealed: bool,
+    ) -> Result<()> {
+        let table_number = tmeta.number;
+        UniKvStats::add(&self.stats.bytes_flushed, tmeta.size);
+        UniKvStats::add(&self.stats.flushes, 1);
+        let p = &mut core.partitions[pidx];
+        p.meta.unsorted.push(tmeta);
+        if self.opts.enable_hash_index {
+            for key in keys {
+                p.index.insert(key, table_number as u32);
+            }
+        }
+        if sealed {
+            p.imms.retain(|s| s.wal_number != old_wal);
+            p.meta.sealed_wals.retain(|w| *w != old_wal);
+        }
+
+        // Periodic hash-index checkpoint (paper: every unsorted_limit/2
+        // flushes).
+        let dir = partition_dir(&self.root, p.meta.id);
+        p.flushes_since_ckpt += 1;
+        if self.opts.enable_hash_index && checkpoint_due(&self.opts, p.flushes_since_ckpt) {
+            self.env
+                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
+            p.meta.ckpt_tables = p.meta.unsorted.iter().map(|t| t.number).collect();
+            p.flushes_since_ckpt = 0;
+        }
+
+        self.commit_meta(core)?;
+        // Old WAL is obsolete once META no longer names it.
+        let p = &core.partitions[pidx];
+        let dir = partition_dir(&self.root, p.meta.id);
+        let old = filenames::wal_file(&dir, old_wal);
+        if self.env.file_exists(&old) {
+            self.env.delete_file(&old)?;
+        }
+        self.maint.notify_progress();
+        Ok(())
+    }
+
     /// Flush the partition's memtable into a new UnsortedStore table.
+    /// Sealed memtables (background mode) are drained first, oldest first,
+    /// so newer data keeps shadowing older data; in inline mode `imms` is
+    /// always empty and the file-number allocation order is unchanged from
+    /// previous versions (byte-identical layout).
     fn flush_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        while !core.partitions[pidx].imms.is_empty() {
+            let table_number = core.alloc_file();
+            let sealed = core.partitions[pidx].imms[0].clone();
+            let dir = partition_dir(&self.root, core.partitions[pidx].meta.id);
+            let (tmeta, keys) = self.build_flush_table(&dir, table_number, sealed.mem)?;
+            self.install_flush(core, pidx, tmeta, &keys, sealed.wal_number, true)?;
+        }
         let table_number = core.alloc_file();
         let new_wal = core.alloc_file();
         let p = &mut core.partitions[pidx];
@@ -749,57 +1055,8 @@ impl UniKv {
         let dir = partition_dir(&self.root, p.meta.id);
         p.wal = LogWriter::new(self.env.new_writable(&filenames::wal_file(&dir, new_wal))?);
         p.meta.wal_number = new_wal;
-
-        // Write the table, deduping to the newest version per user key and
-        // feeding each kept key into the hash index.
-        let mut builder = TableBuilder::new(
-            self.env
-                .new_writable(&filenames::table_file(&dir, table_number))?,
-            self.table_builder_opts(),
-        );
-        let mut iter = MemTableSource::new(imm);
-        iter.seek_to_first()?;
-        let mut last_user_key: Option<Vec<u8>> = None;
-        while iter.valid() {
-            let user_key = extract_user_key(iter.ikey());
-            if last_user_key.as_deref() != Some(user_key) {
-                last_user_key = Some(user_key.to_vec());
-                builder.add(iter.ikey(), iter.value())?;
-                if self.opts.enable_hash_index {
-                    p.index.insert(user_key, table_number as u32);
-                }
-            }
-            iter.next()?;
-        }
-        let props = builder.finish()?;
-        UniKvStats::add(&self.stats.bytes_flushed, props.file_size);
-        UniKvStats::add(&self.stats.flushes, 1);
-        p.meta.unsorted.push(TableMeta {
-            number: table_number,
-            size: props.file_size,
-            smallest: props.smallest,
-            largest: props.largest,
-        });
-
-        // Periodic hash-index checkpoint (paper: every unsorted_limit/2
-        // flushes).
-        p.flushes_since_ckpt += 1;
-        if self.opts.enable_hash_index && checkpoint_due(&self.opts, p.flushes_since_ckpt) {
-            self.env
-                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
-            p.meta.ckpt_tables = p.meta.unsorted.iter().map(|t| t.number).collect();
-            p.flushes_since_ckpt = 0;
-        }
-
-        self.commit_meta(core)?;
-        let p = &core.partitions[pidx];
-        let dir = partition_dir(&self.root, p.meta.id);
-        // Old WAL is obsolete once META names the new one.
-        let old = filenames::wal_file(&dir, old_wal);
-        if self.env.file_exists(&old) {
-            self.env.delete_file(&old)?;
-        }
-        Ok(())
+        let (tmeta, keys) = self.build_flush_table(&dir, table_number, imm)?;
+        self.install_flush(core, pidx, tmeta, &keys, old_wal, false)
     }
 
     fn table_builder_opts(&self) -> TableBuilderOptions {
@@ -842,7 +1099,7 @@ impl UniKv {
         iter.seek_to_first()?;
 
         if self.opts.enable_kv_separation {
-            p.vlog.rotate()?; // new values go to a freshly created log
+            p.vlog.lock().rotate()?; // new values go to a freshly created log
         }
         let mut new_tables: Vec<TableMeta> = Vec::new();
         let mut builder: Option<TableBuilder> = None;
@@ -861,7 +1118,7 @@ impl UniKv {
                 if vt == ValueType::Value {
                     let slot = match SeparatedValue::decode(iter.value())? {
                         SeparatedValue::Inline(v) if self.opts.enable_kv_separation => {
-                            let ptr = p.vlog.append(&v)?;
+                            let ptr = p.vlog.lock().append(&v)?;
                             written += v.len() as u64;
                             live_value_bytes += ptr.length as u64;
                             SeparatedValue::Pointer(ptr)
@@ -910,7 +1167,7 @@ impl UniKv {
             t.largest = props.largest;
         }
         *next_file = start_file + used;
-        p.vlog.sync()?;
+        p.vlog.lock().sync()?;
 
         UniKvStats::add(&self.stats.merge_bytes_read, input_bytes);
         UniKvStats::add(&self.stats.merge_bytes_written, written);
@@ -924,7 +1181,7 @@ impl UniKv {
             .chain(p.meta.sorted.drain(..))
             .collect();
         p.meta.sorted = new_tables;
-        p.meta.own_logs = p.vlog.log_numbers();
+        p.meta.own_logs = p.vlog.lock().log_numbers();
         p.meta.live_value_bytes = live_value_bytes;
         p.index.clear();
         p.meta.ckpt_tables.clear();
@@ -939,7 +1196,8 @@ impl UniKv {
         let dir = partition_dir(&self.root, p.meta.id);
         for t in old_tables {
             p.evict_table(t.number);
-            self.env.delete_file(&filenames::table_file(&dir, t.number))?;
+            self.env
+                .delete_file(&filenames::table_file(&dir, t.number))?;
         }
         Ok(())
     }
@@ -969,10 +1227,8 @@ impl UniKv {
                 .new_writable(&filenames::table_file(&dir, table_number))?,
             self.table_builder_opts(),
         );
-        let mut new_index = TwoLevelHashIndex::with_capacity(
-            index_capacity(&self.opts),
-            self.opts.num_hashes,
-        );
+        let mut new_index =
+            TwoLevelHashIndex::with_capacity(index_capacity(&self.opts), self.opts.num_hashes);
         let mut last_user_key: Option<Vec<u8>> = None;
         while iter.valid() {
             let user_key = extract_user_key(iter.ikey());
@@ -1013,33 +1269,33 @@ impl UniKv {
         let dir = partition_dir(&self.root, p.meta.id);
         for t in old_tables {
             p.evict_table(t.number);
-            self.env.delete_file(&filenames::table_file(&dir, t.number))?;
+            self.env
+                .delete_file(&filenames::table_file(&dir, t.number))?;
         }
         Ok(())
     }
 
-    fn maybe_gc(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
-        let (total, garbage) = {
-            let p = &core.partitions[pidx];
-            let mut total = p.vlog.total_size();
-            // Logs shared with a split sibling are charged at 50%: roughly
-            // half their bytes belong to this partition, so the garbage
-            // ratio stays meaningful and a fresh split does not look like
-            // instant garbage. The lazy value split rides on the first GC
-            // that real churn triggers, as the paper intends.
-            for r in &p.meta.inherited_logs {
-                let path =
-                    partition_dir(&self.root, r.partition).join(vlog_file_name(r.log_number));
-                total += self.env.file_size(&path).unwrap_or(0) / 2;
-            }
-            let garbage = total.saturating_sub(p.meta.live_value_bytes);
-            (total, garbage)
-        };
-        if total < self.opts.gc_min_bytes {
-            return Ok(());
+    /// The GC trigger condition for one partition.
+    fn gc_due(&self, p: &Partition) -> bool {
+        let mut total = p.vlog.lock().total_size();
+        // Logs shared with a split sibling are charged at 50%: roughly
+        // half their bytes belong to this partition, so the garbage
+        // ratio stays meaningful and a fresh split does not look like
+        // instant garbage. The lazy value split rides on the first GC
+        // that real churn triggers, as the paper intends.
+        for r in &p.meta.inherited_logs {
+            let path = partition_dir(&self.root, r.partition).join(vlog_file_name(r.log_number));
+            total += self.env.file_size(&path).unwrap_or(0) / 2;
         }
-        let ratio = garbage as f64 / total.max(1) as f64;
-        if ratio >= self.opts.gc_garbage_ratio {
+        if total < self.opts.gc_min_bytes {
+            return false;
+        }
+        let garbage = total.saturating_sub(p.meta.live_value_bytes);
+        garbage as f64 / total.max(1) as f64 >= self.opts.gc_garbage_ratio
+    }
+
+    fn maybe_gc(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        if self.gc_due(&core.partitions[pidx]) {
             self.gc_partition(core, pidx)?;
         }
         Ok(())
@@ -1061,25 +1317,25 @@ impl UniKv {
         let p = &mut partitions[pidx];
         if p.meta.sorted.is_empty() && p.meta.inherited_logs.is_empty() {
             // No pointers can exist; every own log is garbage.
-            let dead: Vec<u64> = p.vlog.log_numbers();
+            let dead: Vec<u64> = p.vlog.lock().log_numbers();
             if !dead.is_empty() {
                 for n in &dead {
                     self.resolver.evict(p.meta.id, *n);
                 }
-                p.vlog.delete_logs(&dead)?;
+                p.vlog.lock().delete_logs(&dead)?;
                 p.meta.own_logs.clear();
                 self.commit_meta(core)?;
             }
             return Ok(());
         }
         let dir = partition_dir(&self.root, p.meta.id);
-        let old_logs: Vec<u64> = p.vlog.log_numbers();
+        let old_logs: Vec<u64> = p.vlog.lock().log_numbers();
         let old_inherited = std::mem::take(&mut p.meta.inherited_logs);
 
         // Step 1+2 of the paper's protocol: identify valid values by
         // scanning the SortedStore in key order, read them, and append to
         // a newly created log.
-        p.vlog.rotate()?;
+        p.vlog.lock().rotate()?;
         let mut run = Vec::with_capacity(p.meta.sorted.len());
         for tmeta in &p.meta.sorted {
             run.push((tmeta.largest.clone(), self.open_table(p, tmeta.number)?));
@@ -1096,7 +1352,7 @@ impl UniKv {
             let slot = match SeparatedValue::decode(iter.value())? {
                 SeparatedValue::Pointer(ptr) => {
                     let value = self.resolver.read(&ptr)?;
-                    let new_ptr = p.vlog.append(&value)?;
+                    let new_ptr = p.vlog.lock().append(&value)?;
                     written += value.len() as u64;
                     live_value_bytes += new_ptr.length as u64;
                     SeparatedValue::Pointer(new_ptr)
@@ -1140,7 +1396,7 @@ impl UniKv {
             t.largest = props.largest;
         }
         *next_file = start_file + used;
-        p.vlog.sync()?;
+        p.vlog.lock().sync()?;
 
         UniKvStats::add(&self.stats.gc_bytes_written, written);
         UniKvStats::add(&self.stats.gcs, 1);
@@ -1148,6 +1404,7 @@ impl UniKv {
         let old_tables = std::mem::replace(&mut p.meta.sorted, new_tables);
         let new_logs: Vec<u64> = p
             .vlog
+            .lock()
             .log_numbers()
             .into_iter()
             .filter(|n| !old_logs.contains(n))
@@ -1162,13 +1419,14 @@ impl UniKv {
         let dir = partition_dir(&self.root, p.meta.id);
         for t in old_tables {
             p.evict_table(t.number);
-            self.env.delete_file(&filenames::table_file(&dir, t.number))?;
+            self.env
+                .delete_file(&filenames::table_file(&dir, t.number))?;
         }
         for n in &old_logs {
             self.resolver.evict(p.meta.id, *n);
         }
         let p = &mut core.partitions[pidx];
-        p.vlog.delete_logs(&old_logs)?;
+        p.vlog.lock().delete_logs(&old_logs)?;
         self.sweep_shared_logs(core, &old_inherited)?;
         Ok(())
     }
@@ -1209,8 +1467,10 @@ impl UniKv {
     /// the children and split lazily by their future GCs.
     fn split_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
         // The paper locks the partition and flushes its memtable first; our
-        // global write lock subsumes the partition lock.
-        if !core.partitions[pidx].mem.is_empty() {
+        // global write lock subsumes the partition lock. Sealed memtables
+        // (background mode) drain here too — the split passes below only
+        // read tables.
+        if !core.partitions[pidx].mem.is_empty() || !core.partitions[pidx].imms.is_empty() {
             self.flush_partition(core, pidx)?;
         }
 
@@ -1343,9 +1603,8 @@ impl UniKv {
                             let number = split_file_start + split_files_used;
                             split_files_used += 1;
                             child.builder = Some(TableBuilder::new(
-                                self.env.new_writable(&filenames::table_file(
-                                    &child.dir, number,
-                                ))?,
+                                self.env
+                                    .new_writable(&filenames::table_file(&child.dir, number))?,
                                 self.table_builder_opts(),
                             ));
                             child.tables.push(TableMeta {
@@ -1412,14 +1671,16 @@ impl UniKv {
                     inherited_logs: child.inherited.into_iter().collect(),
                     ckpt_tables: Vec::new(),
                     live_value_bytes: child.live_value_bytes,
+                    sealed_wals: Vec::new(),
                 },
                 mem: Arc::new(MemTable::new()),
+                imms: Vec::new(),
                 wal,
                 index: TwoLevelHashIndex::with_capacity(
                     index_capacity(&self.opts),
                     self.opts.num_hashes,
                 ),
-                vlog: child.vlog,
+                vlog: Arc::new(parking_lot::Mutex::new(child.vlog)),
                 tables: parking_lot::Mutex::new(std::collections::HashMap::new()),
                 flushes_since_ckpt: 0,
             })
@@ -1455,6 +1716,364 @@ impl UniKv {
         Ok(())
     }
 
+    // ---------------------------------------------------------------
+    // Background job runners (worker threads; `background_jobs >= 1`)
+    // ---------------------------------------------------------------
+
+    /// Execute one background job. Called from the worker loop; a job
+    /// whose trigger condition no longer holds is a no-op.
+    pub(crate) fn run_job(&self, job: &Job) -> Result<()> {
+        match job.kind {
+            JobKind::Flush => self.run_flush_job(job.partition),
+            JobKind::ScanMerge => self.run_scan_merge_job(job.partition),
+            JobKind::Merge => self.run_merge_job(job.partition),
+            JobKind::Gc => self.run_gc_job(job.partition),
+            JobKind::Split => self.run_split_job(job.partition),
+        }
+    }
+
+    /// Background flush: drain the partition's sealed memtables oldest
+    /// first. The table is built with the core lock *released* — reads
+    /// and writes proceed against the still-visible sealed memtable —
+    /// and installed under a brief write lock.
+    fn run_flush_job(&self, pid: u32) -> Result<()> {
+        loop {
+            let (dir, table_number, sealed) = {
+                let mut core = self.core.write();
+                let Some(pidx) = core.partition_index(pid) else {
+                    return Ok(());
+                };
+                if core.partitions[pidx].imms.is_empty() {
+                    return Ok(());
+                }
+                let table_number = core.alloc_file();
+                (
+                    partition_dir(&self.root, pid),
+                    table_number,
+                    core.partitions[pidx].imms[0].clone(),
+                )
+            };
+            let (tmeta, keys) = self.build_flush_table(&dir, table_number, sealed.mem)?;
+            let mut core = self.core.write();
+            let Some(pidx) = core.partition_index(pid) else {
+                return Ok(());
+            };
+            self.install_flush(&mut core, pidx, tmeta, &keys, sealed.wal_number, true)?;
+            self.schedule_triggers(&core, pidx);
+        }
+    }
+
+    /// Background full merge. Phase 1 snapshots the input tables and the
+    /// vlog handle under a read lock; phase 2 does the heavy merge with no
+    /// core lock held (value appends take the partition's vlog mutex
+    /// per-call, table numbers come from brief write locks); phase 3
+    /// installs and commits under the write lock. Only one job runs per
+    /// partition and foreground structural operations quiesce the
+    /// workers, so the snapshotted inputs cannot change underneath.
+    fn run_merge_job(&self, pid: u32) -> Result<()> {
+        // Phase 1: snapshot.
+        let (dir, consumed, sorted_metas, handles, sorted_handles, vlog) = {
+            let core = self.core.read();
+            let Some(pidx) = core.partition_index(pid) else {
+                return Ok(());
+            };
+            let p = &core.partitions[pidx];
+            if p.meta.unsorted.is_empty() && p.meta.sorted.is_empty() {
+                return Ok(());
+            }
+            let consumed = p.meta.unsorted.clone();
+            let sorted_metas = p.meta.sorted.clone();
+            let mut handles = Vec::with_capacity(consumed.len());
+            for t in &consumed {
+                handles.push(self.open_table(p, t.number)?);
+            }
+            let mut sorted_handles = Vec::with_capacity(sorted_metas.len());
+            for t in &sorted_metas {
+                sorted_handles.push((t.largest.clone(), self.open_table(p, t.number)?));
+            }
+            (
+                partition_dir(&self.root, pid),
+                consumed,
+                sorted_metas,
+                handles,
+                sorted_handles,
+                p.vlog.clone(),
+            )
+        };
+        let input_bytes = consumed.iter().map(|t| t.size).sum::<u64>()
+            + sorted_metas.iter().map(|t| t.size).sum::<u64>();
+
+        // Phase 2: heavy merge, core lock released.
+        let mut children: Vec<Box<dyn InternalIterator>> = handles
+            .iter()
+            .map(|t| Box::new(TableSource::new(t)) as Box<dyn InternalIterator>)
+            .collect();
+        children.push(Box::new(ConcatSource::new(sorted_handles)));
+        let mut iter = MergingIterator::new(children);
+        iter.seek_to_first()?;
+
+        if self.opts.enable_kv_separation {
+            vlog.lock().rotate()?;
+        }
+        let mut new_tables: Vec<TableMeta> = Vec::new();
+        let mut builder: Option<TableBuilder> = None;
+        let mut written = 0u64;
+        let mut live_value_bytes = 0u64;
+        let mut last_user_key: Option<Vec<u8>> = None;
+        while iter.valid() {
+            let ikey = iter.ikey().to_vec();
+            let user_key = extract_user_key(&ikey);
+            let (_, vt) = extract_seq_type(&ikey)?;
+            let is_newest = last_user_key.as_deref() != Some(user_key);
+            if is_newest {
+                last_user_key = Some(user_key.to_vec());
+                if vt == ValueType::Value {
+                    let slot = match SeparatedValue::decode(iter.value())? {
+                        SeparatedValue::Inline(v) if self.opts.enable_kv_separation => {
+                            let ptr = vlog.lock().append(&v)?;
+                            written += v.len() as u64;
+                            live_value_bytes += ptr.length as u64;
+                            SeparatedValue::Pointer(ptr)
+                        }
+                        inline @ SeparatedValue::Inline(_) => inline,
+                        SeparatedValue::Pointer(ptr) => {
+                            live_value_bytes += ptr.length as u64;
+                            SeparatedValue::Pointer(ptr)
+                        }
+                    };
+                    if builder.is_none() {
+                        let number = self.core.write().alloc_file();
+                        builder = Some(TableBuilder::new(
+                            self.env
+                                .new_writable(&filenames::table_file(&dir, number))?,
+                            self.table_builder_opts(),
+                        ));
+                        new_tables.push(TableMeta {
+                            number,
+                            size: 0,
+                            smallest: Vec::new(),
+                            largest: Vec::new(),
+                        });
+                    }
+                    let b = builder.as_mut().expect("created above");
+                    b.add(&ikey, &slot.encode())?;
+                    if b.estimated_size() >= self.opts.table_size as u64 {
+                        let props = builder.take().expect("present").finish()?;
+                        written += props.file_size;
+                        let t = new_tables.last_mut().expect("pushed");
+                        t.size = props.file_size;
+                        t.smallest = props.smallest;
+                        t.largest = props.largest;
+                    }
+                }
+            }
+            iter.next()?;
+        }
+        if let Some(b) = builder.take() {
+            let props = b.finish()?;
+            written += props.file_size;
+            let t = new_tables.last_mut().expect("pushed");
+            t.size = props.file_size;
+            t.smallest = props.smallest;
+            t.largest = props.largest;
+        }
+        vlog.lock().sync()?;
+
+        // Phase 3: install.
+        let mut core = self.core.write();
+        let Some(pidx) = core.partition_index(pid) else {
+            return Ok(());
+        };
+        UniKvStats::add(&self.stats.merge_bytes_read, input_bytes);
+        UniKvStats::add(&self.stats.merge_bytes_written, written);
+        UniKvStats::add(&self.stats.merges, 1);
+
+        let consumed_ids: HashSet<u64> = consumed.iter().map(|t| t.number).collect();
+        let p = &mut core.partitions[pidx];
+        let mut old_tables: Vec<TableMeta> = Vec::new();
+        p.meta.unsorted.retain(|t| {
+            if consumed_ids.contains(&t.number) {
+                old_tables.push(t.clone());
+                false
+            } else {
+                true
+            }
+        });
+        old_tables.append(&mut p.meta.sorted);
+        p.meta.sorted = new_tables;
+        p.meta.own_logs = vlog.lock().log_numbers();
+        p.meta.live_value_bytes = live_value_bytes;
+        if p.meta.unsorted.is_empty() {
+            p.index.clear();
+        } else {
+            // Defensive: tables flushed after the snapshot keep their
+            // index entries.
+            let stale: HashSet<u32> = consumed_ids.iter().map(|&n| n as u32).collect();
+            p.index.remove_tables(&stale);
+        }
+        p.meta.ckpt_tables.retain(|n| !consumed_ids.contains(n));
+        p.flushes_since_ckpt = 0;
+        if self.opts.enable_hash_index {
+            self.env
+                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
+            p.meta.ckpt_tables = p.meta.unsorted.iter().map(|t| t.number).collect();
+        }
+
+        self.commit_meta(&core)?;
+        let p = &mut core.partitions[pidx];
+        for t in old_tables {
+            p.evict_table(t.number);
+            self.env
+                .delete_file(&filenames::table_file(&dir, t.number))?;
+        }
+        self.maint.notify_progress();
+        self.schedule_triggers(&core, pidx);
+        Ok(())
+    }
+
+    /// Background size-based merge (scan optimization): collapse the
+    /// snapshotted UnsortedStore tables into one, with the heavy merge
+    /// running off-lock like [`Self::run_merge_job`].
+    fn run_scan_merge_job(&self, pid: u32) -> Result<()> {
+        // Phase 1: snapshot.
+        let (dir, table_number, consumed, handles) = {
+            let mut core = self.core.write();
+            let Some(pidx) = core.partition_index(pid) else {
+                return Ok(());
+            };
+            if core.partitions[pidx].meta.unsorted.len() < 2 {
+                return Ok(());
+            }
+            let table_number = core.alloc_file();
+            let p = &core.partitions[pidx];
+            let consumed = p.meta.unsorted.clone();
+            let mut handles = Vec::with_capacity(consumed.len());
+            for t in &consumed {
+                handles.push(self.open_table(p, t.number)?);
+            }
+            (
+                partition_dir(&self.root, pid),
+                table_number,
+                consumed,
+                handles,
+            )
+        };
+
+        // Phase 2: merge into one table, collecting kept keys.
+        let children: Vec<Box<dyn InternalIterator>> = handles
+            .iter()
+            .map(|t| Box::new(TableSource::new(t)) as Box<dyn InternalIterator>)
+            .collect();
+        let mut iter = MergingIterator::new(children);
+        iter.seek_to_first()?;
+        let mut builder = TableBuilder::new(
+            self.env
+                .new_writable(&filenames::table_file(&dir, table_number))?,
+            self.table_builder_opts(),
+        );
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        let mut last_user_key: Option<Vec<u8>> = None;
+        while iter.valid() {
+            let user_key = extract_user_key(iter.ikey());
+            if last_user_key.as_deref() != Some(user_key) {
+                last_user_key = Some(user_key.to_vec());
+                // Tombstones stay: the SortedStore below still holds older
+                // versions they must shadow.
+                builder.add(iter.ikey(), iter.value())?;
+                if self.opts.enable_hash_index {
+                    keys.push(user_key.to_vec());
+                }
+            }
+            iter.next()?;
+        }
+        let props = builder.finish()?;
+        let tmeta = TableMeta {
+            number: table_number,
+            size: props.file_size,
+            smallest: props.smallest,
+            largest: props.largest,
+        };
+
+        // Phase 3: install.
+        let mut core = self.core.write();
+        let Some(pidx) = core.partition_index(pid) else {
+            return Ok(());
+        };
+        UniKvStats::add(&self.stats.merge_bytes_written, tmeta.size);
+        UniKvStats::add(&self.stats.scan_merges, 1);
+        let consumed_ids: HashSet<u64> = consumed.iter().map(|t| t.number).collect();
+        let p = &mut core.partitions[pidx];
+        let mut old_tables: Vec<TableMeta> = Vec::new();
+        p.meta.unsorted.retain(|t| {
+            if consumed_ids.contains(&t.number) {
+                old_tables.push(t.clone());
+                false
+            } else {
+                true
+            }
+        });
+        // The merged table is older than anything flushed after the
+        // snapshot, so it goes to the front of the flush-ordered tier.
+        p.meta.unsorted.insert(0, tmeta);
+        if self.opts.enable_hash_index {
+            let stale: HashSet<u32> = consumed_ids.iter().map(|&n| n as u32).collect();
+            p.index.remove_tables(&stale);
+            for key in &keys {
+                p.index.insert(key, table_number as u32);
+            }
+            self.env
+                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
+            p.meta.ckpt_tables = p.meta.unsorted.iter().map(|t| t.number).collect();
+            p.flushes_since_ckpt = 0;
+        }
+
+        self.commit_meta(&core)?;
+        let p = &mut core.partitions[pidx];
+        for t in old_tables {
+            p.evict_table(t.number);
+            self.env
+                .delete_file(&filenames::table_file(&dir, t.number))?;
+        }
+        self.maint.notify_progress();
+        self.schedule_triggers(&core, pidx);
+        Ok(())
+    }
+
+    /// Background GC: re-checks the garbage ratio, then runs the inline
+    /// GC under the write lock (GC rewrites the SortedStore in place, so
+    /// it does not overlap foreground work).
+    fn run_gc_job(&self, pid: u32) -> Result<()> {
+        let mut core = self.core.write();
+        let Some(pidx) = core.partition_index(pid) else {
+            return Ok(());
+        };
+        if self.gc_due(&core.partitions[pidx]) {
+            self.gc_partition(&mut core, pidx)?;
+        }
+        Ok(())
+    }
+
+    /// Background split: re-checks the size trigger, then runs the inline
+    /// median split under the write lock.
+    fn run_split_job(&self, pid: u32) -> Result<()> {
+        let mut core = self.core.write();
+        let Some(pidx) = core.partition_index(pid) else {
+            return Ok(());
+        };
+        if !self.opts.enable_partitioning
+            || core.partitions[pidx].logical_size() <= self.opts.partition_size_limit
+        {
+            return Ok(());
+        }
+        self.split_partition(&mut core, pidx)?;
+        // Both children may immediately warrant follow-up work.
+        self.schedule_triggers(&core, pidx);
+        if pidx + 1 < core.partitions.len() {
+            self.schedule_triggers(&core, pidx + 1);
+        }
+        Ok(())
+    }
+
     /// Merging iterator over a partition's tables only (no memtable) —
     /// split passes run after an explicit flush.
     fn merged_partition_tables_iter(&self, p: &Partition) -> Result<MergingIterator> {
@@ -1469,6 +2088,154 @@ impl UniKv {
         }
         children.push(Box::new(ConcatSource::new(run)));
         Ok(MergingIterator::new(children))
+    }
+}
+
+/// The UniKV database handle.
+///
+/// Owns the engine state (shared with maintenance worker threads via
+/// `Arc`) and the worker join handles. With `background_jobs = 0` (the
+/// default) no threads are spawned and every structural operation runs
+/// inline, exactly as in previous versions. Dropping the handle asks the
+/// workers to finish their current job and joins them; jobs still queued
+/// are abandoned — safe, because sealed WALs are committed in META and
+/// recovery replays them.
+pub struct UniKv {
+    inner: Arc<DbInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl UniKv {
+    /// Open (creating or recovering) a database under `root`.
+    pub fn open(env: Arc<dyn Env>, root: impl Into<PathBuf>, opts: UniKvOptions) -> Result<UniKv> {
+        let inner = Arc::new(DbInner::open_inner(env, root.into(), opts)?);
+        let workers = (0..inner.opts.background_jobs)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("unikv-maint-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn maintenance worker")
+            })
+            .collect();
+        Ok(UniKv { inner, workers })
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &UniKvStats {
+        self.inner.stats()
+    }
+
+    /// Options this database was opened with.
+    pub fn options(&self) -> &UniKvOptions {
+        self.inner.options()
+    }
+
+    /// Number of partitions (grows via dynamic range partitioning).
+    pub fn partition_count(&self) -> usize {
+        self.inner.partition_count()
+    }
+
+    /// The current partition boundary keys (`lo` of each partition).
+    pub fn partition_boundaries(&self) -> Vec<Vec<u8>> {
+        self.inner.partition_boundaries()
+    }
+
+    /// Total bytes of in-memory hash-index entries across partitions
+    /// (experiment E12).
+    pub fn index_memory_bytes(&self) -> usize {
+        self.inner.index_memory_bytes()
+    }
+
+    /// Total logical bytes stored (tables + live values).
+    pub fn logical_bytes(&self) -> u64 {
+        self.inner.logical_bytes()
+    }
+
+    /// Last committed sequence number.
+    pub fn last_sequence(&self) -> SequenceNumber {
+        self.inner.last_sequence()
+    }
+
+    /// Insert or update `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.inner.put(key, value)
+    }
+
+    /// Delete `key`.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.inner.delete(key)
+    }
+
+    /// Apply `batch` atomically (see [`WriteBatch`]).
+    pub fn write_batch(&self, batch: &WriteBatch) -> Result<()> {
+        self.inner.write_batch(batch)
+    }
+
+    /// Force all memtables (active and sealed) to disk. In background
+    /// mode this quiesces the workers first, so it is a true barrier.
+    pub fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    /// Force a full merge (UnsortedStore → SortedStore) in every partition.
+    pub fn compact_all(&self) -> Result<()> {
+        self.inner.compact_all()
+    }
+
+    /// Run GC on every partition regardless of the garbage ratio
+    /// (test/maintenance hook).
+    pub fn force_gc(&self) -> Result<()> {
+        self.inner.force_gc()
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get(key)
+    }
+
+    /// Range scan: up to `limit` live entries with `key >= from`.
+    pub fn scan(&self, from: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
+        self.inner.scan(from, limit)
+    }
+
+    /// Range scan bounded above: up to `limit` live entries with
+    /// `from <= key < end` (`end = None` means unbounded).
+    pub fn scan_range(
+        &self,
+        from: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<ScanItem>> {
+        self.inner.scan_range(from, end, limit)
+    }
+
+    /// A streaming iterator over the whole database at the current
+    /// sequence number — the paper's seek()/next() scan interface.
+    pub fn iter(&self) -> Result<crate::iter::UniKvIterator> {
+        self.inner.iter()
+    }
+
+    /// Block until the maintenance queue is empty and no job is running.
+    /// Returns immediately in inline mode or after a background failure.
+    pub fn wait_for_background(&self) {
+        self.inner.maint.wait_idle();
+    }
+
+    /// The fatal background-maintenance error that poisoned this
+    /// database, if any. Once set, writes and structural operations fail
+    /// with this error; reads keep working.
+    pub fn background_error(&self) -> Option<String> {
+        self.inner.maint.poison_message()
+    }
+}
+
+impl Drop for UniKv {
+    fn drop(&mut self) {
+        self.inner.maint.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -1492,12 +2259,28 @@ fn sweep_partition_dir(
     inherited_refs: &HashSet<(u32, u64)>,
 ) -> Result<()> {
     let live_tables: HashSet<u64> = pmeta
-        .map(|m| m.unsorted.iter().chain(&m.sorted).map(|t| t.number).collect())
+        .map(|m| {
+            m.unsorted
+                .iter()
+                .chain(&m.sorted)
+                .map(|t| t.number)
+                .collect()
+        })
         .unwrap_or_default();
     let live_logs: HashSet<u64> = pmeta
         .map(|m| m.own_logs.iter().copied().collect())
         .unwrap_or_default();
-    let wal_number = pmeta.map(|m| m.wal_number);
+    // Sealed WALs protect sealed-but-unflushed memtables; they are as
+    // live as the active WAL until their flush commits.
+    let live_wals: HashSet<u64> = pmeta
+        .map(|m| {
+            m.sealed_wals
+                .iter()
+                .copied()
+                .chain([m.wal_number])
+                .collect()
+        })
+        .unwrap_or_default();
     for name in env.list_dir(dir)? {
         let Some(s) = name.to_str() else { continue };
         if s == INDEX_CKPT {
@@ -1514,15 +2297,11 @@ fn sweep_partition_dir(
             continue;
         }
         match filenames::parse_file_name(s) {
-            Some(filenames::FileKind::Table(n)) => {
-                if !live_tables.contains(&n) {
-                    env.delete_file(&dir.join(name))?;
-                }
+            Some(filenames::FileKind::Table(n)) if !live_tables.contains(&n) => {
+                env.delete_file(&dir.join(name))?;
             }
-            Some(filenames::FileKind::Wal(n)) => {
-                if wal_number != Some(n) {
-                    env.delete_file(&dir.join(name))?;
-                }
+            Some(filenames::FileKind::Wal(n)) if !live_wals.contains(&n) => {
+                env.delete_file(&dir.join(name))?;
             }
             _ => {}
         }
@@ -1538,7 +2317,7 @@ fn open_partition(
     pmeta: &PartitionMeta,
     last_seq: &mut SequenceNumber,
     next_file: &mut u64,
-) -> Result<(Partition, Option<PathBuf>)> {
+) -> Result<(Partition, Vec<PathBuf>)> {
     let dir = partition_dir(root, pmeta.id);
     env.create_dir_all(&dir)?;
     let vlog = ValueLog::open(env.clone(), dir.clone(), pmeta.id, opts.max_log_size)?;
@@ -1587,13 +2366,31 @@ fn open_partition(
         }
     }
 
-    // Replay the WAL into a fresh memtable (missing file = clean shutdown
-    // or crash before any write reached it).
+    // Replay sealed WALs (oldest first), then the active WAL, into one
+    // fresh memtable (a missing file = clean shutdown or crash before any
+    // write reached it). Sealed WALs exist when a crash interrupted
+    // background flushing; replay restores their memtables' contents and
+    // the flush-on-open below re-persists everything, so the sealed list
+    // is cleared afterwards.
     let mem = Arc::new(MemTable::new());
     let wal_path = filenames::wal_file(&dir, pmeta.wal_number);
+    let mut stale_wals = Vec::new();
     let mut replayed = false;
-    if env.file_exists(&wal_path) {
-        let mut reader = LogReader::new(env.new_sequential(&wal_path)?);
+    for (number, is_sealed) in pmeta
+        .sealed_wals
+        .iter()
+        .map(|&n| (n, true))
+        .chain([(pmeta.wal_number, false)])
+    {
+        let path = filenames::wal_file(&dir, number);
+        if is_sealed {
+            // Superseded regardless of content once this open commits.
+            stale_wals.push(path.clone());
+        }
+        if !env.file_exists(&path) {
+            continue;
+        }
+        let mut reader = LogReader::new(env.new_sequential(&path)?);
         let mut buf = Vec::new();
         while reader.read_record(&mut buf)? == ReadOutcome::Record {
             for (seq, t, key, value) in decode_batch_record(&buf)? {
@@ -1606,13 +2403,13 @@ fn open_partition(
     }
 
     let mut meta = pmeta.clone();
-    let mut stale_wal = None;
+    meta.sealed_wals.clear();
     let wal = if replayed {
-        // The replayed WAL must survive on disk until the memtable is
+        // The replayed WALs must survive on disk until the memtable is
         // flushed (UniKv::open flushes non-empty memtables immediately
         // after loading). Route new appends to a fresh WAL file; the old
-        // one is returned for deletion after the flush commits.
-        stale_wal = Some(wal_path.clone());
+        // ones are returned for deletion after the flush commits.
+        stale_wals.push(wal_path.clone());
         let new_number = {
             *next_file += 1;
             *next_file - 1
@@ -1628,12 +2425,13 @@ fn open_partition(
         Partition {
             meta,
             mem,
+            imms: Vec::new(),
             wal,
             index,
-            vlog,
+            vlog: Arc::new(parking_lot::Mutex::new(vlog)),
             tables: parking_lot::Mutex::new(std::collections::HashMap::new()),
             flushes_since_ckpt: 0,
         },
-        stale_wal,
+        stale_wals,
     ))
 }

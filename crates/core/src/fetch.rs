@@ -19,6 +19,7 @@ const MIN_JOBS_PER_WORKER: usize = 256;
 struct Task {
     resolver: Arc<ValueResolver>,
     jobs: Vec<(usize, ValuePointer)>,
+    #[allow(clippy::type_complexity)]
     reply: Sender<Result<Vec<(usize, Vec<u8>)>>>,
 }
 
@@ -146,6 +147,7 @@ mod tests {
     use unikv_env::mem::MemEnv;
     use unikv_vlog::ValueLog;
 
+    #[allow(clippy::type_complexity)]
     fn setup(n: usize) -> (Arc<ValueResolver>, Vec<(usize, ValuePointer)>, Vec<Vec<u8>>) {
         let env = MemEnv::shared();
         let root = PathBuf::from("/db");

@@ -10,14 +10,14 @@
 use crate::resolver::ValueResolver;
 use std::collections::HashMap;
 use std::sync::Arc;
-use unikv_env::RandomAccessFile;
-use unikv_vlog::read_value_record;
 use unikv_common::ikey::{
     extract_seq_type, extract_user_key, make_internal_key, SequenceNumber, ValueType,
 };
 use unikv_common::pointer::SeparatedValue;
 use unikv_common::Result;
+use unikv_env::RandomAccessFile;
 use unikv_lsm::iter::{InternalIterator, MergingIterator};
+use unikv_vlog::read_value_record;
 
 /// One partition's slice of the snapshot.
 pub(crate) struct PartitionCursor {
@@ -77,9 +77,11 @@ impl UniKvIterator {
             self.parts[self.idx].lo.clone()
         };
         let snapshot = self.snapshot;
-        self.parts[self.idx]
-            .iter
-            .seek(&make_internal_key(&seek_from, snapshot, ValueType::Value))?;
+        self.parts[self.idx].iter.seek(&make_internal_key(
+            &seek_from,
+            snapshot,
+            ValueType::Value,
+        ))?;
         self.advance_to_visible(None)
     }
 
@@ -124,9 +126,11 @@ impl UniKvIterator {
             self.idx += 1;
             if self.idx < self.parts.len() {
                 let lo = self.parts[self.idx].lo.clone();
-                self.parts[self.idx]
-                    .iter
-                    .seek(&make_internal_key(&lo, snapshot, ValueType::Value))?;
+                self.parts[self.idx].iter.seek(&make_internal_key(
+                    &lo,
+                    snapshot,
+                    ValueType::Value,
+                ))?;
             }
         }
         Ok(())
@@ -148,6 +152,7 @@ impl UniKvIterator {
     }
 
     /// Advance to the next live key (possibly crossing partitions).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<()> {
         let last = self.current.take().expect("valid iterator").0;
         if self.idx < self.parts.len() {

@@ -39,6 +39,7 @@ pub mod batch;
 pub mod db;
 pub mod fetch;
 pub mod iter;
+pub mod maintenance;
 pub mod meta;
 pub mod options;
 pub mod partition;

@@ -1,0 +1,469 @@
+//! Background maintenance: a prioritized job scheduler, worker threads,
+//! and the write-stall (backpressure) controller.
+//!
+//! With `background_jobs = 0` (the default) none of this runs: every
+//! structural operation executes inline under the write that triggered it
+//! and the on-disk layout is byte-identical to previous versions. With
+//! `background_jobs >= 1`, a write that fills the memtable *seals* it
+//! (records its WAL in `PartitionMeta::sealed_wals` and continues on a
+//! fresh memtable + WAL) and enqueues a flush; merges, scan-merges, GC,
+//! and splits are likewise enqueued when their thresholds trip. Worker
+//! threads drain the queue highest-priority-first, at most one job per
+//! partition at a time.
+//!
+//! ## Backpressure
+//!
+//! Foreground writes consult [`stall_level`] before appending: past the
+//! `slowdown_*` thresholds they sleep once for
+//! [`crate::UniKvOptions::stall_sleep_micros`]; past the `stop_*`
+//! thresholds they block until a background job completes. Stall time and
+//! counts are reported in [`crate::UniKvStats::snapshot`].
+//!
+//! ## Failure model
+//!
+//! A job that fails (or panics) *poisons* the database: queued jobs are
+//! dropped and subsequent writes and structural operations return the
+//! original error. Readers are not interrupted. This mirrors the "background
+//! error" behavior of production LSM engines — no partial retry loops that
+//! could re-apply a half-committed structural change.
+
+use crate::db::DbInner;
+use crate::options::UniKvOptions;
+use crate::UniKvStats;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use unikv_common::Error;
+
+/// The kind of structural operation a background job performs.
+///
+/// Declaration order is priority order: flushes run before merges (they
+/// release sealed memtables and their WALs), merges before GC, GC before
+/// splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JobKind {
+    /// Flush sealed memtables into UnsortedStore tables.
+    Flush,
+    /// Size-based merge of UnsortedStore tables (scan optimization).
+    ScanMerge,
+    /// Full UnsortedStore → SortedStore merge.
+    Merge,
+    /// Value-log garbage collection (and lazy value split).
+    Gc,
+    /// Median-key partition split.
+    Split,
+}
+
+/// One queued unit of background work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// What to do.
+    pub kind: JobKind,
+    /// Partition **id** (not index — indexes shift under splits).
+    pub partition: u32,
+}
+
+/// Backpressure level for a foreground write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StallLevel {
+    /// Proceed at full speed.
+    None,
+    /// Sleep once for `stall_sleep_micros`, then proceed.
+    Slowdown,
+    /// Block until a background job completes.
+    Stop,
+}
+
+/// Pure stall policy: how hard to brake given a partition's debt.
+///
+/// `sealed_memtables` is the number of sealed memtables awaiting flush;
+/// `unsorted_tables` is the UnsortedStore table count (merge backlog).
+pub fn stall_level(
+    sealed_memtables: usize,
+    unsorted_tables: usize,
+    opts: &UniKvOptions,
+) -> StallLevel {
+    if sealed_memtables >= opts.stop_sealed_memtables
+        || unsorted_tables >= opts.stop_unsorted_tables
+    {
+        StallLevel::Stop
+    } else if sealed_memtables >= opts.slowdown_sealed_memtables
+        || unsorted_tables >= opts.slowdown_unsorted_tables
+    {
+        StallLevel::Slowdown
+    } else {
+        StallLevel::None
+    }
+}
+
+struct QueueState {
+    /// Pending jobs in arrival order; selection is priority-first and
+    /// arrival-order within a priority.
+    jobs: Vec<Job>,
+    /// Partition ids with a job currently executing (at most one each).
+    inflight: HashSet<u32>,
+    /// Number of active pause guards; workers do not start jobs while > 0.
+    paused: usize,
+}
+
+/// Shared scheduler state between the database and its worker threads.
+pub(crate) struct MaintState {
+    queue: Mutex<QueueState>,
+    /// Signaled when work may be available (enqueue, job completion,
+    /// unpause, shutdown).
+    work_cv: Condvar,
+    /// Signaled when `inflight` drains (pause guards and idle waiters).
+    idle_cv: Condvar,
+    /// Paired with `progress_cv` only; held briefly.
+    progress: Mutex<()>,
+    /// Signaled whenever a structural change commits — stalled writers
+    /// re-evaluate on it.
+    progress_cv: Condvar,
+    shutdown: AtomicBool,
+    poison_flag: AtomicBool,
+    poison_msg: Mutex<Option<String>>,
+}
+
+impl MaintState {
+    pub(crate) fn new() -> MaintState {
+        MaintState {
+            queue: Mutex::new(QueueState {
+                jobs: Vec::new(),
+                inflight: HashSet::new(),
+                paused: 0,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            progress: Mutex::new(()),
+            progress_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            poison_flag: AtomicBool::new(false),
+            poison_msg: Mutex::new(None),
+        }
+    }
+
+    /// Enqueue `job` unless an identical one is already pending. Returns
+    /// the new queue depth when enqueued.
+    pub(crate) fn schedule(&self, job: Job) -> Option<usize> {
+        if self.shutdown.load(Ordering::Acquire) || self.poison_flag.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut q = self.queue.lock();
+        if q.jobs.contains(&job) {
+            return None;
+        }
+        q.jobs.push(job);
+        let depth = q.jobs.len();
+        drop(q);
+        self.work_cv.notify_one();
+        Some(depth)
+    }
+
+    /// Block until a runnable job is available (returned with the queue
+    /// depth after removal) or shutdown is requested (`None`).
+    pub(crate) fn next_job(&self) -> Option<(Job, usize)> {
+        let mut q = self.queue.lock();
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            if q.paused == 0 {
+                // Highest priority first; FIFO within a priority. A job
+                // whose partition already has one running is skipped so a
+                // long merge cannot be overtaken by a conflicting split.
+                let runnable = q
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, j)| !q.inflight.contains(&j.partition))
+                    .min_by_key(|(i, j)| (j.kind, *i))
+                    .map(|(i, _)| i);
+                if let Some(i) = runnable {
+                    let job = q.jobs.remove(i);
+                    q.inflight.insert(job.partition);
+                    return Some((job, q.jobs.len()));
+                }
+            }
+            self.work_cv.wait(&mut q);
+        }
+    }
+
+    /// Mark the inflight job for `partition` done and wake waiters.
+    pub(crate) fn finish_job(&self, partition: u32) {
+        let mut q = self.queue.lock();
+        q.inflight.remove(&partition);
+        drop(q);
+        self.work_cv.notify_all();
+        self.idle_cv.notify_all();
+        self.notify_progress();
+    }
+
+    /// Wake stalled writers (and anyone else watching for progress).
+    pub(crate) fn notify_progress(&self) {
+        let _g = self.progress.lock();
+        drop(_g);
+        self.progress_cv.notify_all();
+    }
+
+    /// Block until progress is signaled or `timeout` elapses. The caller
+    /// re-checks its condition either way (timeouts bound lost wakeups).
+    pub(crate) fn wait_for_progress(&self, timeout: Duration) {
+        let mut g = self.progress.lock();
+        let _ = self.progress_cv.wait_for(&mut g, timeout);
+    }
+
+    /// Stop workers from *starting* jobs and wait for inflight ones to
+    /// finish. Used by foreground structural operations (explicit flush /
+    /// compaction / GC) so they never race a worker's unlocked phase.
+    pub(crate) fn pause(&self) -> PauseGuard<'_> {
+        let mut q = self.queue.lock();
+        q.paused += 1;
+        while !q.inflight.is_empty() {
+            self.idle_cv.wait(&mut q);
+        }
+        PauseGuard { state: self }
+    }
+
+    /// Block until the queue and inflight set are both empty (or the
+    /// database is shut down / poisoned, which drops queued jobs).
+    pub(crate) fn wait_idle(&self) {
+        let mut q = self.queue.lock();
+        while !(q.jobs.is_empty() && q.inflight.is_empty()) {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            self.idle_cv.wait(&mut q);
+        }
+    }
+
+    /// Record a fatal background error; queued jobs are dropped and all
+    /// waiters are woken. The first error wins.
+    pub(crate) fn poison(&self, msg: String) {
+        {
+            let mut m = self.poison_msg.lock();
+            if m.is_none() {
+                *m = Some(msg);
+            }
+        }
+        self.poison_flag.store(true, Ordering::Release);
+        let mut q = self.queue.lock();
+        q.jobs.clear();
+        drop(q);
+        self.work_cv.notify_all();
+        self.idle_cv.notify_all();
+        self.notify_progress();
+    }
+
+    /// The fatal background error, if any, as a returnable `Error`.
+    pub(crate) fn poisoned_error(&self) -> Option<Error> {
+        if !self.poison_flag.load(Ordering::Acquire) {
+            return None;
+        }
+        let msg = self
+            .poison_msg
+            .lock()
+            .clone()
+            .unwrap_or_else(|| "unknown background error".to_string());
+        Some(Error::internal(format!(
+            "database poisoned by background maintenance failure: {msg}"
+        )))
+    }
+
+    /// The raw poison message, if any (introspection hook).
+    pub(crate) fn poison_message(&self) -> Option<String> {
+        self.poison_flag
+            .load(Ordering::Acquire)
+            .then(|| self.poison_msg.lock().clone())
+            .flatten()
+    }
+
+    /// Ask workers to exit after their current job; wakes everything.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.work_cv.notify_all();
+        self.idle_cv.notify_all();
+        self.notify_progress();
+    }
+}
+
+/// RAII token from [`MaintState::pause`]; dropping it lets workers resume.
+pub(crate) struct PauseGuard<'a> {
+    state: &'a MaintState,
+}
+
+impl Drop for PauseGuard<'_> {
+    fn drop(&mut self) {
+        let mut q = self.state.queue.lock();
+        q.paused -= 1;
+        drop(q);
+        self.state.work_cv.notify_all();
+    }
+}
+
+/// Body of one maintenance worker thread.
+pub(crate) fn worker_loop(inner: Arc<DbInner>) {
+    while let Some((job, depth)) = inner.maint.next_job() {
+        inner
+            .stats
+            .maint_queue_depth
+            .store(depth as u64, Ordering::Relaxed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.run_job(&job)));
+        match result {
+            Ok(Ok(())) => {
+                UniKvStats::add(&inner.stats.maint_jobs_completed, 1);
+            }
+            Ok(Err(e)) => {
+                UniKvStats::add(&inner.stats.maint_jobs_failed, 1);
+                inner.maint.poison(format!(
+                    "{:?} job on partition {} failed: {e}",
+                    job.kind, job.partition
+                ));
+            }
+            Err(_) => {
+                UniKvStats::add(&inner.stats.maint_jobs_failed, 1);
+                inner.maint.poison(format!(
+                    "{:?} job on partition {} panicked",
+                    job.kind, job.partition
+                ));
+            }
+        }
+        inner.maint.finish_job(job.partition);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> UniKvOptions {
+        UniKvOptions {
+            slowdown_sealed_memtables: 2,
+            stop_sealed_memtables: 4,
+            slowdown_unsorted_tables: 8,
+            stop_unsorted_tables: 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stall_level_thresholds_engage_and_release() {
+        let o = opts();
+        assert_eq!(stall_level(0, 0, &o), StallLevel::None);
+        assert_eq!(stall_level(1, 7, &o), StallLevel::None);
+        // Either dimension can trip the slowdown...
+        assert_eq!(stall_level(2, 0, &o), StallLevel::Slowdown);
+        assert_eq!(stall_level(0, 8, &o), StallLevel::Slowdown);
+        assert_eq!(stall_level(3, 11, &o), StallLevel::Slowdown);
+        // ...and the hard stop.
+        assert_eq!(stall_level(4, 0, &o), StallLevel::Stop);
+        assert_eq!(stall_level(0, 12, &o), StallLevel::Stop);
+        assert_eq!(stall_level(9, 99, &o), StallLevel::Stop);
+        // Debt paid down → level releases.
+        assert_eq!(stall_level(3, 0, &o), StallLevel::Slowdown);
+        assert_eq!(stall_level(1, 0, &o), StallLevel::None);
+    }
+
+    #[test]
+    fn queue_prioritizes_and_dedups() {
+        let m = MaintState::new();
+        assert!(m
+            .schedule(Job {
+                kind: JobKind::Gc,
+                partition: 1
+            })
+            .is_some());
+        assert!(m
+            .schedule(Job {
+                kind: JobKind::Flush,
+                partition: 2
+            })
+            .is_some());
+        // Duplicate (kind, partition) pairs collapse.
+        assert!(m
+            .schedule(Job {
+                kind: JobKind::Gc,
+                partition: 1
+            })
+            .is_none());
+        assert!(m
+            .schedule(Job {
+                kind: JobKind::Merge,
+                partition: 3
+            })
+            .is_some());
+
+        let (j1, _) = m.next_job().unwrap();
+        assert_eq!(j1.kind, JobKind::Flush);
+        let (j2, _) = m.next_job().unwrap();
+        assert_eq!(j2.kind, JobKind::Merge);
+        let (j3, depth) = m.next_job().unwrap();
+        assert_eq!(j3.kind, JobKind::Gc);
+        assert_eq!(depth, 0);
+        m.finish_job(j1.partition);
+        m.finish_job(j2.partition);
+        m.finish_job(j3.partition);
+        m.wait_idle();
+    }
+
+    #[test]
+    fn one_inflight_job_per_partition() {
+        let m = MaintState::new();
+        m.schedule(Job {
+            kind: JobKind::Flush,
+            partition: 7,
+        });
+        m.schedule(Job {
+            kind: JobKind::Merge,
+            partition: 7,
+        });
+        m.schedule(Job {
+            kind: JobKind::Gc,
+            partition: 8,
+        });
+        let (a, _) = m.next_job().unwrap();
+        assert_eq!(a.partition, 7);
+        // Partition 7 is busy; the next runnable job is partition 8's.
+        let (b, _) = m.next_job().unwrap();
+        assert_eq!(b.partition, 8);
+        m.finish_job(a.partition);
+        let (c, _) = m.next_job().unwrap();
+        assert_eq!((c.kind, c.partition), (JobKind::Merge, 7));
+        m.finish_job(b.partition);
+        m.finish_job(c.partition);
+    }
+
+    #[test]
+    fn poison_drops_queue_and_reports() {
+        let m = MaintState::new();
+        m.schedule(Job {
+            kind: JobKind::Flush,
+            partition: 1,
+        });
+        m.poison("disk exploded".to_string());
+        assert!(m.poisoned_error().is_some());
+        assert!(m.poison_message().unwrap().contains("disk exploded"));
+        // New work is refused and waiters do not hang.
+        assert!(m
+            .schedule(Job {
+                kind: JobKind::Flush,
+                partition: 1
+            })
+            .is_none());
+        m.wait_idle();
+        // First error wins.
+        m.poison("second".to_string());
+        assert!(m.poison_message().unwrap().contains("disk exploded"));
+    }
+
+    #[test]
+    fn shutdown_unblocks_workers() {
+        let m = Arc::new(MaintState::new());
+        let m2 = m.clone();
+        let t = std::thread::spawn(move || m2.next_job());
+        std::thread::sleep(Duration::from_millis(20));
+        m.begin_shutdown();
+        assert!(t.join().unwrap().is_none());
+    }
+}

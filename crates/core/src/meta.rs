@@ -66,6 +66,12 @@ pub struct PartitionMeta {
     /// Sum of live separated-value lengths in the SortedStore (GC trigger
     /// bookkeeping; recomputed at each merge).
     pub live_value_bytes: u64,
+    /// WAL numbers of sealed (immutable) memtables awaiting a background
+    /// flush, oldest first. Recovery replays them before the active WAL.
+    /// Empty in deterministic inline mode (`background_jobs = 0`), and
+    /// encoded as an optional trailing section so snapshots without
+    /// sealed WALs stay byte-identical to the pre-background format.
+    pub sealed_wals: Vec<u64>,
 }
 
 /// Whole-database snapshot.
@@ -161,6 +167,18 @@ impl DbMeta {
                 put_varint64(&mut out, *t);
             }
             put_varint64(&mut out, p.live_value_bytes);
+        }
+        // Optional trailing section: per-partition sealed-WAL lists, only
+        // present when at least one partition has sealed memtables. With
+        // `background_jobs = 0` nothing is ever sealed, so the encoding is
+        // byte-identical to snapshots that predate background maintenance.
+        if self.partitions.iter().any(|p| !p.sealed_wals.is_empty()) {
+            for p in &self.partitions {
+                put_varint32(&mut out, p.sealed_wals.len() as u32);
+                for w in &p.sealed_wals {
+                    put_varint64(&mut out, *w);
+                }
+            }
         }
         let crc = crc32c::mask(crc32c::value(&out));
         put_fixed32(&mut out, crc);
@@ -264,7 +282,16 @@ impl DbMeta {
                 inherited_logs,
                 ckpt_tables,
                 live_value_bytes,
+                sealed_wals: Vec::new(),
             });
+        }
+        // Optional sealed-WAL section (see `encode`).
+        if pos < body.len() {
+            for p in partitions.iter_mut() {
+                for _ in 0..v32!() {
+                    p.sealed_wals.push(v64!());
+                }
+            }
         }
         if pos != body.len() {
             return Err(Error::corruption("META trailing bytes"));
@@ -305,6 +332,7 @@ mod tests {
                     }],
                     ckpt_tables: vec![3],
                     live_value_bytes: 4096,
+                    sealed_wals: Vec::new(),
                 },
                 PartitionMeta {
                     id: 1,
@@ -333,6 +361,23 @@ mod tests {
         assert!(m.partitions[0].lo.is_empty());
         assert!(m.partitions[0].hi.is_none());
         assert_eq!(DbMeta::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn sealed_wals_roundtrip_and_stay_optional() {
+        let mut m = sample();
+        let clean = m.encode();
+        // No sealed WALs → the trailing section is absent entirely.
+        m.partitions[0].sealed_wals = vec![41, 42];
+        let sealed = m.encode();
+        assert!(sealed.len() > clean.len());
+        assert_eq!(DbMeta::decode(&sealed).unwrap(), m);
+        m.partitions[0].sealed_wals.clear();
+        assert_eq!(
+            m.encode(),
+            clean,
+            "empty sealed_wals must not change encoding"
+        );
     }
 
     #[test]

@@ -41,6 +41,27 @@ pub struct UniKvOptions {
     /// fsync the WAL on every write.
     pub sync_writes: bool,
 
+    // ---- Background maintenance & backpressure ----
+    /// Worker threads for background flush/merge/GC/split. `0` (the
+    /// default) keeps the paper-faithful deterministic mode: every
+    /// structural operation runs inline under the write that triggered
+    /// it, and the on-disk layout is byte-identical to previous versions.
+    pub background_jobs: usize,
+    /// Sealed-memtable count at which writes are briefly slowed
+    /// (backpressure lets flushes catch up).
+    pub slowdown_sealed_memtables: usize,
+    /// Sealed-memtable count at which writes hard-stop until a flush
+    /// completes.
+    pub stop_sealed_memtables: usize,
+    /// UnsortedStore table count at which writes are briefly slowed
+    /// (merge backlog building up).
+    pub slowdown_unsorted_tables: usize,
+    /// UnsortedStore table count at which writes hard-stop until a merge
+    /// completes.
+    pub stop_unsorted_tables: usize,
+    /// Duration of one slowdown pause, in microseconds.
+    pub stall_sleep_micros: u64,
+
     // ---- Ablation switches (experiments E7–E10) ----
     /// E7: disable the hash index; UnsortedStore lookups scan tables
     /// newest-first instead.
@@ -74,6 +95,12 @@ impl Default for UniKvOptions {
             value_fetch_threads: 32,
             block_cache_bytes: 8 << 20,
             sync_writes: false,
+            background_jobs: 0,
+            slowdown_sealed_memtables: 2,
+            stop_sealed_memtables: 4,
+            slowdown_unsorted_tables: 8,
+            stop_unsorted_tables: 12,
+            stall_sleep_micros: 1000,
             enable_hash_index: true,
             enable_kv_separation: true,
             enable_partitioning: true,
@@ -129,6 +156,15 @@ impl UniKvOptions {
                 "gc_garbage_ratio must be within [0, 1]",
             ));
         }
+        if self.slowdown_sealed_memtables == 0
+            || self.slowdown_unsorted_tables == 0
+            || self.stop_sealed_memtables < self.slowdown_sealed_memtables
+            || self.stop_unsorted_tables < self.slowdown_unsorted_tables
+        {
+            return Err(unikv_common::Error::invalid_argument(
+                "stall thresholds must satisfy stop >= slowdown >= 1",
+            ));
+        }
         Ok(())
     }
 }
@@ -145,17 +181,35 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut o = UniKvOptions::default();
-        o.unsorted_limit_bytes = 1;
-        assert!(o.validate().is_err());
-        let mut o = UniKvOptions::default();
-        o.num_hashes = 9;
-        assert!(o.validate().is_err());
-        let mut o = UniKvOptions::default();
-        o.value_fetch_threads = 0;
-        assert!(o.validate().is_err());
-        let mut o = UniKvOptions::default();
-        o.gc_garbage_ratio = 1.5;
-        assert!(o.validate().is_err());
+        let bad = [
+            UniKvOptions {
+                unsorted_limit_bytes: 1,
+                ..Default::default()
+            },
+            UniKvOptions {
+                num_hashes: 9,
+                ..Default::default()
+            },
+            UniKvOptions {
+                value_fetch_threads: 0,
+                ..Default::default()
+            },
+            UniKvOptions {
+                gc_garbage_ratio: 1.5,
+                ..Default::default()
+            },
+            UniKvOptions {
+                stop_sealed_memtables: 1,
+                slowdown_sealed_memtables: 3,
+                ..Default::default()
+            },
+            UniKvOptions {
+                slowdown_unsorted_tables: 0,
+                ..Default::default()
+            },
+        ];
+        for o in bad {
+            assert!(o.validate().is_err(), "accepted invalid config: {o:?}");
+        }
     }
 }

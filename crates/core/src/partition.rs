@@ -17,6 +17,17 @@ use unikv_wal::LogWriter;
 /// Name of the hash-index checkpoint file within a partition directory.
 pub const INDEX_CKPT: &str = "INDEX.ckpt";
 
+/// A sealed (immutable) memtable handed off to background maintenance,
+/// together with the WAL file that protects it until its flush commits.
+#[derive(Clone)]
+pub struct SealedMem {
+    /// WAL number recorded in `PartitionMeta::sealed_wals`.
+    pub wal_number: u64,
+    /// The frozen memtable; reads keep consulting it until the flushed
+    /// table is installed.
+    pub mem: Arc<MemTable>,
+}
+
 /// Live state of one partition.
 pub struct Partition {
     /// Persistent metadata (mirrors the last committed META snapshot plus
@@ -24,12 +35,17 @@ pub struct Partition {
     pub meta: PartitionMeta,
     /// Active memtable.
     pub mem: Arc<MemTable>,
+    /// Sealed memtables awaiting flush, oldest first. Always empty in
+    /// deterministic inline mode (`background_jobs = 0`).
+    pub imms: Vec<SealedMem>,
     /// WAL protecting `mem`.
     pub wal: LogWriter,
     /// The two-level hash index over the UnsortedStore.
     pub index: TwoLevelHashIndex,
-    /// Value logs owned by this partition.
-    pub vlog: ValueLog,
+    /// Value logs owned by this partition. Behind its own mutex so merge
+    /// and GC can append values without holding the database core lock;
+    /// never take the core lock while holding a vlog lock.
+    pub vlog: Arc<parking_lot::Mutex<ValueLog>>,
     /// Open table handles (both tiers), keyed by file number. Behind a
     /// mutex so readers holding only the database read lock can populate
     /// the cache.
@@ -118,9 +134,9 @@ pub fn checkpoint_due(opts: &UniKvOptions, flushes_since: u32) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use unikv_env::Env;
     use unikv_common::ikey::{make_internal_key, ValueType};
     use unikv_env::mem::MemEnv;
+    use unikv_env::Env;
     use unikv_sstable::{TableBuilder, TableBuilderOptions};
 
     fn ik(k: &[u8], seq: u64) -> Vec<u8> {
@@ -215,11 +231,12 @@ mod tests {
         Partition {
             meta,
             mem: Arc::new(unikv_memtable::MemTable::new()),
-            wal: unikv_wal::LogWriter::new(
-                env.new_writable(Path::new("/wal")).unwrap(),
-            ),
+            imms: Vec::new(),
+            wal: unikv_wal::LogWriter::new(env.new_writable(Path::new("/wal")).unwrap()),
             index: unikv_hashindex::TwoLevelHashIndex::new(16, 2),
-            vlog: unikv_vlog::ValueLog::open(env, "/vlog", 0, 1 << 20).unwrap(),
+            vlog: Arc::new(parking_lot::Mutex::new(
+                unikv_vlog::ValueLog::open(env, "/vlog", 0, 1 << 20).unwrap(),
+            )),
             tables: parking_lot::Mutex::new(HashMap::new()),
             flushes_since_ckpt: 0,
         }

@@ -181,7 +181,10 @@ mod tests {
         assert_eq!(r.get(b"small").unwrap(), Some(b"tiny".to_vec()));
         assert_eq!(r.get(b"large").unwrap(), Some(vec![7u8; 500]));
         // Verify placement.
-        assert_eq!(r.small_store().get(b"small").unwrap(), Some(b"tiny".to_vec()));
+        assert_eq!(
+            r.small_store().get(b"small").unwrap(),
+            Some(b"tiny".to_vec())
+        );
         assert_eq!(r.small_store().get(b"large").unwrap(), None);
         assert_eq!(r.large_store().get(b"large").unwrap(), Some(vec![7u8; 500]));
     }

@@ -163,7 +163,8 @@ fn concurrent_readers_during_writes() {
         std::thread::spawn(move || {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                db.put(&format_key(i % 2_000), &make_value(i, 1, 64)).unwrap();
+                db.put(&format_key(i % 2_000), &make_value(i, 1, 64))
+                    .unwrap();
                 i += 1;
             }
             i
@@ -178,7 +179,7 @@ fn concurrent_readers_during_writes() {
                 while !stop.load(Ordering::Relaxed) {
                     let k = (r * 97 + checked) % 2_000;
                     let _ = db.get(&format_key(k)).unwrap();
-                    if checked % 50 == 0 {
+                    if checked.is_multiple_of(50) {
                         let items = db.scan(&format_key(k), 20).unwrap();
                         assert!(items.windows(2).all(|w| w[0].key < w[1].key));
                     }

@@ -1,0 +1,318 @@
+//! Concurrency tests for the background maintenance subsystem:
+//! multi-threaded writers/readers/scanners against live background
+//! flush/merge/GC/split, read-your-writes, monotonic sequence numbers,
+//! write-stall accounting, worker-failure poisoning, and clean recovery.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use unikv::{UniKv, UniKvOptions};
+use unikv_common::rng::DetRng;
+use unikv_env::fault::FaultInjectionEnv;
+use unikv_env::mem::MemEnv;
+
+fn bg_opts(jobs: usize) -> UniKvOptions {
+    let mut opts = UniKvOptions::small_for_tests();
+    opts.background_jobs = jobs;
+    opts
+}
+
+fn stat(db: &UniKv, name: &str) -> u64 {
+    db.stats()
+        .snapshot()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("unknown stat {name}"))
+}
+
+fn wkey(writer: usize, i: usize) -> Vec<u8> {
+    format!("w{writer}k{i:06}").into_bytes()
+}
+
+fn wvalue(writer: usize, i: usize, version: usize) -> Vec<u8> {
+    format!("w{writer}k{i:06}v{version:04}:{}", "x".repeat(48)).into_bytes()
+}
+
+/// N writers + M readers + a scanner + a sequence watcher, all racing
+/// background maintenance. Each writer checks read-your-writes on its own
+/// disjoint key space; the scanner checks ordering invariants; afterwards
+/// the full contents are verified, then verified again after a clean
+/// reopen in inline mode.
+#[test]
+fn stress_mixed_workload_with_background_maintenance() {
+    const WRITERS: usize = 4;
+    const KEYS_PER_WRITER: usize = 250;
+    const ROUNDS: usize = 2;
+
+    let env = MemEnv::shared();
+    let db = Arc::new(UniKv::open(env.clone(), "/db", bg_opts(2)).unwrap());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let db = db.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = DetRng::seed_from_u64(0xC0FFEE + w as u64);
+            for version in 0..ROUNDS {
+                for i in 0..KEYS_PER_WRITER {
+                    let key = wkey(w, i);
+                    db.put(&key, &wvalue(w, i, version)).unwrap();
+                    // Read-your-writes: this thread owns the key, so the
+                    // freshly written version must be visible regardless
+                    // of which tier it currently lives in.
+                    let got = db.get(&key).unwrap();
+                    assert_eq!(got, Some(wvalue(w, i, version)), "RYW w{w} i{i}");
+                    // Occasionally delete and re-insert to exercise
+                    // tombstones racing flushes.
+                    if rng.next_f64() < 0.05 {
+                        db.delete(&key).unwrap();
+                        assert_eq!(db.get(&key).unwrap(), None, "RYW-del w{w} i{i}");
+                        db.put(&key, &wvalue(w, i, version)).unwrap();
+                    }
+                }
+            }
+        }));
+    }
+
+    // Readers: any visible value must be well-formed and belong to the
+    // key it was read from.
+    for r in 0..2 {
+        let db = db.clone();
+        let done = done.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = DetRng::seed_from_u64(0xBEEF + r as u64);
+            while !done.load(Ordering::Relaxed) {
+                let w = rng.u64_in(0..WRITERS as u64) as usize;
+                let i = rng.u64_in(0..KEYS_PER_WRITER as u64) as usize;
+                let key = wkey(w, i);
+                if let Some(v) = db.get(&key).unwrap() {
+                    assert!(
+                        v.starts_with(String::from_utf8(key.clone()).unwrap().as_bytes()),
+                        "value for {} does not match its key",
+                        String::from_utf8_lossy(&key)
+                    );
+                }
+            }
+        }));
+    }
+
+    // Scanner: results must be strictly sorted and within range.
+    {
+        let db = db.clone();
+        let done = done.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = DetRng::seed_from_u64(0xFACE);
+            while !done.load(Ordering::Relaxed) {
+                let w = rng.u64_in(0..WRITERS as u64) as usize;
+                let from = wkey(w, rng.u64_in(0..KEYS_PER_WRITER as u64) as usize);
+                let items = db.scan(&from, 25).unwrap();
+                for pair in items.windows(2) {
+                    assert!(pair[0].key < pair[1].key, "scan results out of order");
+                }
+                for item in &items {
+                    assert!(item.key.as_slice() >= from.as_slice());
+                }
+            }
+        }));
+    }
+
+    // Sequence watcher: the committed sequence number never goes back.
+    {
+        let db = db.clone();
+        let done = done.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut last = 0;
+            while !done.load(Ordering::Relaxed) {
+                let seq = db.last_sequence();
+                assert!(seq >= last, "sequence went backwards: {seq} < {last}");
+                last = seq;
+            }
+        }));
+    }
+
+    for h in handles.drain(..WRITERS) {
+        h.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    db.wait_for_background();
+    assert_eq!(db.background_error(), None);
+    assert!(
+        stat(&db, "maint_jobs_scheduled") > 0,
+        "no background jobs ran"
+    );
+    assert!(stat(&db, "maint_jobs_completed") > 0);
+    assert_eq!(stat(&db, "maint_jobs_failed"), 0);
+    assert!(stat(&db, "flushes") > 0);
+
+    let verify = |db: &UniKv| {
+        for w in 0..WRITERS {
+            for i in 0..KEYS_PER_WRITER {
+                assert_eq!(
+                    db.get(&wkey(w, i)).unwrap(),
+                    Some(wvalue(w, i, ROUNDS - 1)),
+                    "final value w{w} i{i}"
+                );
+            }
+        }
+    };
+    verify(&db);
+
+    // Clean recovery: drop (joins workers; queued jobs abandoned) and
+    // reopen in inline mode — sealed WALs committed in META are replayed.
+    drop(Arc::try_unwrap(db).ok().expect("all clones joined"));
+    let db = UniKv::open(env, "/db", UniKvOptions::small_for_tests()).unwrap();
+    verify(&db);
+}
+
+/// With generous thresholds writes never stall; with a hard-stop
+/// threshold of one sealed memtable the stall counters engage.
+#[test]
+fn stall_counters_track_thresholds() {
+    // Thresholds far above what this workload can accumulate: no stalls.
+    let mut opts = bg_opts(1);
+    opts.slowdown_sealed_memtables = 100;
+    opts.stop_sealed_memtables = 200;
+    opts.slowdown_unsorted_tables = 1000;
+    opts.stop_unsorted_tables = 2000;
+    let db = UniKv::open(MemEnv::shared(), "/db", opts).unwrap();
+    for i in 0..1500u32 {
+        db.put(format!("k{i:06}").as_bytes(), &[7u8; 100]).unwrap();
+    }
+    db.wait_for_background();
+    assert_eq!(db.background_error(), None);
+    assert_eq!(stat(&db, "stall_slowdowns"), 0);
+    assert_eq!(stat(&db, "stall_stops"), 0);
+    assert_eq!(stat(&db, "stall_time_micros"), 0);
+    drop(db);
+
+    // One sealed memtable already hard-stops: with a single worker and
+    // continuous ingest, writes must brake (and stall time accrues).
+    let mut opts = bg_opts(1);
+    opts.slowdown_sealed_memtables = 1;
+    opts.stop_sealed_memtables = 1;
+    let db = UniKv::open(MemEnv::shared(), "/db2", opts).unwrap();
+    for i in 0..1500u32 {
+        db.put(format!("k{i:06}").as_bytes(), &[7u8; 100]).unwrap();
+    }
+    db.wait_for_background();
+    assert_eq!(db.background_error(), None);
+    assert!(
+        stat(&db, "stall_stops") > 0,
+        "hard-stop threshold of 1 sealed memtable never engaged"
+    );
+    assert!(stat(&db, "stall_time_micros") > 0);
+    // Every write still landed.
+    for i in (0..1500u32).step_by(97) {
+        assert_eq!(
+            db.get(format!("k{i:06}").as_bytes()).unwrap(),
+            Some(vec![7u8; 100])
+        );
+    }
+}
+
+/// Foreground writes keep completing while merges run in the background
+/// (the paper's pain point with inline compaction): no hard stops with
+/// default thresholds, yet merges demonstrably happened.
+#[test]
+fn writes_proceed_while_merges_run() {
+    let db = UniKv::open(MemEnv::shared(), "/db", bg_opts(2)).unwrap();
+    for i in 0..4000u32 {
+        db.put(format!("k{i:06}").as_bytes(), &[3u8; 120]).unwrap();
+    }
+    db.wait_for_background();
+    assert_eq!(db.background_error(), None);
+    assert!(
+        stat(&db, "merges") + stat(&db, "scan_merges") > 0,
+        "no merge ever ran"
+    );
+    assert!(stat(&db, "flushes") > 0);
+    for i in (0..4000u32).step_by(131) {
+        assert_eq!(
+            db.get(format!("k{i:06}").as_bytes()).unwrap(),
+            Some(vec![3u8; 120])
+        );
+    }
+}
+
+/// A failing background job poisons the database: subsequent writes and
+/// structural operations fail with the background error, reads keep
+/// working, and waiters do not hang.
+#[test]
+fn worker_failure_poisons_database() {
+    let fault = FaultInjectionEnv::new(MemEnv::shared());
+    let db = UniKv::open(fault.clone(), "/db", bg_opts(1)).unwrap();
+
+    let mut poisoned = false;
+    let mut i = 0u32;
+    'rounds: for _ in 0..50 {
+        fault.clear_failures();
+        // Write until a fresh background job is enqueued, then make every
+        // append fail while it (or its successor) is still in flight.
+        let scheduled = stat(&db, "maint_jobs_scheduled");
+        loop {
+            if db.put(format!("k{i:06}").as_bytes(), &[9u8; 200]).is_err() {
+                // A foreground WAL append caught the injected failure
+                // from a previous round; keep going.
+                fault.clear_failures();
+                continue;
+            }
+            i += 1;
+            if stat(&db, "maint_jobs_scheduled") > scheduled {
+                break;
+            }
+        }
+        fault.fail_after_appends(0);
+        db.wait_for_background();
+        if db.background_error().is_some() {
+            poisoned = true;
+            break 'rounds;
+        }
+    }
+    assert!(poisoned, "background failures never poisoned the database");
+    fault.clear_failures();
+
+    // Writes and structural operations now fail fast with the error...
+    let err = db.put(b"after", b"x").unwrap_err().to_string();
+    assert!(err.contains("poisoned"), "unexpected error: {err}");
+    assert!(db.flush().is_err());
+    assert!(db.compact_all().is_err());
+    // ...but reads still serve whatever was committed.
+    db.get(b"k000000").unwrap();
+    db.scan(b"k", 10).unwrap();
+}
+
+/// Crash (power failure) with sealed memtables pending flush: with
+/// synced writes, everything acknowledged is recovered by replaying the
+/// sealed WALs recorded in META.
+#[test]
+fn crash_with_sealed_memtables_recovers_from_sealed_wals() {
+    let fault = FaultInjectionEnv::new(MemEnv::shared());
+    {
+        let mut opts = bg_opts(1);
+        opts.sync_writes = true;
+        // Keep flushes slow to finish relative to ingest so sealed
+        // memtables are routinely outstanding at crash time.
+        opts.stop_sealed_memtables = 8;
+        opts.slowdown_sealed_memtables = 8;
+        let db = UniKv::open(fault.clone(), "/db", opts).unwrap();
+        for i in 0..1200u32 {
+            db.put(format!("k{i:06}").as_bytes(), &[5u8; 90]).unwrap();
+        }
+        // Drop joins the workers but does NOT flush: sealed memtables that
+        // were still queued exist only in their (synced) sealed WALs.
+        drop(db);
+    }
+    fault.crash().unwrap();
+    let db = UniKv::open(fault.clone(), "/db", UniKvOptions::small_for_tests()).unwrap();
+    for i in 0..1200u32 {
+        assert_eq!(
+            db.get(format!("k{i:06}").as_bytes()).unwrap(),
+            Some(vec![5u8; 90]),
+            "key {i} lost after crash"
+        );
+    }
+}

@@ -50,7 +50,9 @@ fn model_check_random_workload() {
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
     let mut rng: u64 = 0x853c_49e6_748f_ea9b;
     let mut next = |m: u64| {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (rng >> 33) % m
     };
     for _ in 0..6000 {
@@ -177,12 +179,12 @@ fn split_produces_disjoint_partitions() {
     }
     // A scan crossing a partition boundary is seamless and sorted.
     let boundary = bounds[1].clone();
-    let start = u32::from_str_radix(
-        std::str::from_utf8(&boundary[4..]).unwrap().trim_start_matches('0'),
-        10,
-    )
-    .unwrap_or(0)
-    .saturating_sub(5);
+    let start = std::str::from_utf8(&boundary[4..])
+        .unwrap()
+        .trim_start_matches('0')
+        .parse::<u32>()
+        .unwrap_or(0)
+        .saturating_sub(5);
     let items = db.scan(&key(start), 10).unwrap();
     assert_eq!(items.len(), 10);
     for w in items.windows(2) {

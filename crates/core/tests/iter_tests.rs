@@ -36,13 +36,11 @@ fn iterator_matches_model_full_walk() {
     let (db, model) = loaded(2_000, 80);
     let mut it = db.iter().unwrap();
     it.seek(b"").unwrap();
-    let mut count = 0;
-    for (k, v) in &model {
+    for (count, (k, v)) in model.iter().enumerate() {
         assert!(it.valid(), "iterator ended early at {count}");
         assert_eq!(it.key(), &k[..]);
         assert_eq!(it.value(), &v[..]);
         it.next().unwrap();
-        count += 1;
     }
     assert!(!it.valid(), "iterator has phantom entries");
 }

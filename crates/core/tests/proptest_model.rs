@@ -33,7 +33,9 @@ fn key(k: u16) -> Vec<u8> {
 }
 
 fn value(k: u16, v: u8) -> Vec<u8> {
-    format!("value-{k}-{v}-").into_bytes().repeat(1 + v as usize % 4)
+    format!("value-{k}-{v}-")
+        .into_bytes()
+        .repeat(1 + v as usize % 4)
 }
 
 fn check(ops: &[ModelOp], opts: UniKvOptions) {
@@ -70,7 +72,11 @@ fn check(ops: &[ModelOp], opts: UniKvOptions) {
     }
     // Final audit: every key agrees, reads and scans.
     for k in 0..200u16 {
-        assert_eq!(db.get(&key(k)).unwrap(), model.get(&key(k)).cloned(), "key {k}");
+        assert_eq!(
+            db.get(&key(k)).unwrap(),
+            model.get(&key(k)).cloned(),
+            "key {k}"
+        );
     }
     let all = db.scan(b"", 1000).unwrap();
     assert_eq!(all.len(), model.len());

@@ -102,10 +102,7 @@ impl WritableFile for TrackedWritable {
     fn append(&mut self, data: &[u8]) -> Result<()> {
         let remaining = self.appends_until_failure.load(Ordering::SeqCst);
         if remaining == 0 {
-            return Err(Error::Io(std::io::Error::new(
-                std::io::ErrorKind::Other,
-                "injected write failure",
-            )));
+            return Err(Error::Io(std::io::Error::other("injected write failure")));
         }
         if remaining > 0 {
             self.appends_until_failure.fetch_sub(1, Ordering::SeqCst);

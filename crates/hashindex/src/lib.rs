@@ -25,9 +25,7 @@
 //! Consistency: a checkpoint every `unsorted_limit/2` flushes).
 
 use std::collections::HashSet;
-use unikv_common::coding::{
-    put_fixed32, put_varint32, try_decode_fixed32, get_varint32,
-};
+use unikv_common::coding::{get_varint32, put_fixed32, put_varint32, try_decode_fixed32};
 use unikv_common::hash::{bucket_hash, key_tag};
 use unikv_common::{crc32c, Error, Result};
 

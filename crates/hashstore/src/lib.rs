@@ -69,7 +69,11 @@ pub struct HashStore {
 
 impl HashStore {
     /// Create a fresh store whose data log lives at `dir/data.log`.
-    pub fn create(env: Arc<dyn Env>, dir: impl Into<PathBuf>, opts: HashStoreOptions) -> Result<Self> {
+    pub fn create(
+        env: Arc<dyn Env>,
+        dir: impl Into<PathBuf>,
+        opts: HashStoreOptions,
+    ) -> Result<Self> {
         let dir = dir.into();
         env.create_dir_all(&dir)?;
         let path = dir.join("data.log");
@@ -142,10 +146,8 @@ impl HashStore {
             if klen as usize == key.len() {
                 let stored_key = reader.read_at(offset + key_start as u64, klen as usize)?;
                 if stored_key == key {
-                    let value = reader.read_at(
-                        offset + key_start as u64 + klen as u64,
-                        vlen as usize,
-                    )?;
+                    let value =
+                        reader.read_at(offset + key_start as u64 + klen as u64, vlen as usize)?;
                     if value.len() != vlen as usize {
                         return Err(Error::corruption("hashstore record truncated"));
                     }

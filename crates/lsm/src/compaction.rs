@@ -66,13 +66,10 @@ pub fn write_tables(
         let user_key = extract_user_key(ikey);
         let (_, vt) = extract_seq_type(ikey)?;
 
-        let is_shadowed = drop.dedup_user_keys
-            && last_user_key.as_deref() == Some(user_key);
+        let is_shadowed = drop.dedup_user_keys && last_user_key.as_deref() == Some(user_key);
         let is_dead_tombstone = drop.drop_tombstones && vt == ValueType::Deletion;
-        if drop.dedup_user_keys {
-            if last_user_key.as_deref() != Some(user_key) {
-                last_user_key = Some(user_key.to_vec());
-            }
+        if drop.dedup_user_keys && last_user_key.as_deref() != Some(user_key) {
+            last_user_key = Some(user_key.to_vec());
         }
 
         if !is_shadowed && !is_dead_tombstone {
@@ -142,11 +139,7 @@ fn key_range_of(files: &[Arc<FileMetaData>]) -> KeyRange {
     range
 }
 
-fn pick_leveled(
-    version: &Version,
-    opts: &LsmOptions,
-    cursor: &mut usize,
-) -> Option<CompactionJob> {
+fn pick_leveled(version: &Version, opts: &LsmOptions, cursor: &mut usize) -> Option<CompactionJob> {
     // L0 first: file count trigger.
     if version.level_files(0) >= opts.l0_compaction_trigger {
         let inputs_lo = version.levels[0].clone();
@@ -232,12 +225,7 @@ fn pick_fragmented(version: &Version, opts: &LsmOptions) -> Option<CompactionJob
 
 /// True if no file in levels strictly below `output_level` overlaps the
 /// user-key range — tombstones compacted into such a level can be dropped.
-pub fn range_is_bottommost(
-    version: &Version,
-    output_level: usize,
-    lo: &[u8],
-    hi: &[u8],
-) -> bool {
+pub fn range_is_bottommost(version: &Version, output_level: usize, lo: &[u8], hi: &[u8]) -> bool {
     for level in (output_level + 1)..version.levels.len() {
         if !version.overlapping_files(level, lo, hi).is_empty() {
             return false;
@@ -256,6 +244,7 @@ mod tests {
         make_internal_key(k, 1, ValueType::Value)
     }
 
+    #[allow(clippy::type_complexity)]
     fn version_with(files: &[(u32, u64, u64, &[u8], &[u8])], leveled: bool) -> Arc<Version> {
         let mut e = VersionEdit::default();
         for (level, num, size, lo, hi) in files {
@@ -295,8 +284,10 @@ mod tests {
 
     #[test]
     fn leveled_size_trigger() {
-        let mut opts = LsmOptions::default();
-        opts.base_level_bytes = 100;
+        let opts = LsmOptions {
+            base_level_bytes: 100,
+            ..Default::default()
+        };
         let v = version_with(
             &[
                 (1, 1, 90, b"a", b"f"),
@@ -318,9 +309,11 @@ mod tests {
 
     #[test]
     fn hyper_picks_min_overlap() {
-        let mut opts = LsmOptions::default();
-        opts.overlap_minimizing_picks = true;
-        opts.base_level_bytes = 100;
+        let opts = LsmOptions {
+            overlap_minimizing_picks: true,
+            base_level_bytes: 100,
+            ..Default::default()
+        };
         // File 1 overlaps a big L2 file; file 2 overlaps nothing.
         let v = version_with(
             &[
@@ -331,7 +324,10 @@ mod tests {
             true,
         );
         let job = pick_compaction(&v, &opts, &mut 0).unwrap();
-        assert_eq!(job.inputs_lo[0].number, 2, "should pick the overlap-free file");
+        assert_eq!(
+            job.inputs_lo[0].number, 2,
+            "should pick the overlap-free file"
+        );
         assert!(job.inputs_hi.is_empty());
     }
 
@@ -355,12 +351,12 @@ mod tests {
 
     #[test]
     fn bottommost_detection() {
-        let v = version_with(
-            &[(1, 1, 10, b"a", b"f"), (3, 2, 10, b"d", b"k")],
-            true,
-        );
+        let v = version_with(&[(1, 1, 10, b"a", b"f"), (3, 2, 10, b"d", b"k")], true);
         assert!(!range_is_bottommost(&v, 1, b"a", b"f"), "L3 overlaps d..f");
-        assert!(range_is_bottommost(&v, 1, b"l", b"z"), "nothing below overlaps l..z");
+        assert!(
+            range_is_bottommost(&v, 1, b"l", b"z"),
+            "nothing below overlaps l..z"
+        );
         assert!(range_is_bottommost(&v, 3, b"a", b"z"));
     }
 }

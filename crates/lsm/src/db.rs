@@ -17,10 +17,12 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
-use unikv_common::coding::{get_length_prefixed_slice, get_varint64, put_length_prefixed_slice, put_varint64};
+use unikv_common::coding::{
+    get_length_prefixed_slice, get_varint64, put_length_prefixed_slice, put_varint64,
+};
 use unikv_common::ikey::{
-    compare_internal_keys, extract_seq_type, extract_user_key, make_internal_key,
-    SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER,
+    compare_internal_keys, extract_seq_type, extract_user_key, make_internal_key, SequenceNumber,
+    ValueType, MAX_SEQUENCE_NUMBER,
 };
 use unikv_common::{Error, Result};
 use unikv_env::Env;
@@ -160,9 +162,8 @@ impl LsmDb {
             log_number = 0;
             manifest_number = 1;
             // Create the initial manifest and point CURRENT at it.
-            let mut m = LogWriter::new(
-                env.new_writable(&filenames::manifest_file(&dir, manifest_number))?,
-            );
+            let mut m =
+                LogWriter::new(env.new_writable(&filenames::manifest_file(&dir, manifest_number))?);
             let edit = VersionEdit {
                 next_file_number: Some(next_file),
                 ..Default::default()
@@ -179,9 +180,8 @@ impl LsmDb {
         // current state (a "manifest rewrite"), which keeps recovery simple
         // and bounds manifest growth.
         let manifest_number = manifest_number + 1;
-        let mut manifest = LogWriter::new(
-            env.new_writable(&filenames::manifest_file(&dir, manifest_number))?,
-        );
+        let mut manifest =
+            LogWriter::new(env.new_writable(&filenames::manifest_file(&dir, manifest_number))?);
         {
             let mut snapshot = VersionEdit {
                 log_number: Some(log_number),
@@ -309,6 +309,7 @@ impl LsmDb {
 
     /// Per-level file summaries `(level, [(file, size, accesses)])` for the
     /// motivation skew experiment.
+    #[allow(clippy::type_complexity)]
     pub fn version_summary(&self) -> Vec<(usize, Vec<(u64, u64, u64)>)> {
         let v = self.state.lock().version.clone();
         v.levels
@@ -488,7 +489,11 @@ impl LsmDb {
         Ok(())
     }
 
-    fn run_compaction(&self, st: &mut DbState, job: crate::compaction::CompactionJob) -> Result<()> {
+    fn run_compaction(
+        &self,
+        st: &mut DbState,
+        job: crate::compaction::CompactionJob,
+    ) -> Result<()> {
         let output_level = job.level + 1;
         let input_bytes = job.input_bytes();
         let all_inputs: Vec<Arc<FileMetaData>> = job
@@ -611,9 +616,7 @@ impl LsmDb {
                 }
             } else {
                 // Sorted, non-overlapping level: at most one candidate file.
-                let idx = files.partition_point(|f| {
-                    extract_user_key(&f.largest) < key
-                });
+                let idx = files.partition_point(|f| extract_user_key(&f.largest) < key);
                 if idx < files.len() && files[idx].may_contain_user_key(key) {
                     if let Some(found) = self.search_table(&files[idx], &seek_key, key)? {
                         return Ok(found);
@@ -747,8 +750,7 @@ impl LsmIterator {
             if last_key.as_deref() != Some(user_key) && seq <= self.snapshot {
                 last_key = Some(user_key.to_vec());
                 if t == ValueType::Value {
-                    self.current =
-                        Some((user_key.to_vec(), self.inner.value().to_vec()));
+                    self.current = Some((user_key.to_vec(), self.inner.value().to_vec()));
                     return Ok(());
                 }
                 // Tombstone: key is dead; keep scanning.
@@ -781,6 +783,7 @@ impl LsmIterator {
     }
 
     /// Advance to the next live key.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<()> {
         let last = self.current.take().expect("valid iterator").0;
         self.inner.next()?;
@@ -925,7 +928,12 @@ mod tests {
             )
             .unwrap();
         }
-        assert!(db.stats().flushes.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert!(
+            db.stats()
+                .flushes
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        );
         assert!(
             db.stats()
                 .compactions

@@ -68,9 +68,7 @@ mod tests {
             Some(FileKind::Wal(7))
         );
         assert_eq!(
-            parse_file_name(
-                manifest_file(dir, 3).file_name().unwrap().to_str().unwrap()
-            ),
+            parse_file_name(manifest_file(dir, 3).file_name().unwrap().to_str().unwrap()),
             Some(FileKind::Manifest(3))
         );
         assert_eq!(parse_file_name("CURRENT"), Some(FileKind::Current));

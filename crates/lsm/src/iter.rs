@@ -111,10 +111,7 @@ impl ConcatSource {
     }
 
     fn open_current(&mut self) {
-        self.iter = self
-            .tables
-            .get(self.current)
-            .map(|(_, table)| table.iter());
+        self.iter = self.tables.get(self.current).map(|(_, table)| table.iter());
     }
 
     fn advance_past_exhausted(&mut self) -> Result<()> {
@@ -198,9 +195,7 @@ impl MergingIterator {
             best = match best {
                 None => Some(i),
                 Some(b) => {
-                    if compare_internal_keys(c.ikey(), self.children[b].ikey())
-                        == Ordering::Less
-                    {
+                    if compare_internal_keys(c.ikey(), self.children[b].ikey()) == Ordering::Less {
                         Some(i)
                     } else {
                         Some(b)
@@ -276,7 +271,10 @@ mod tests {
             keys.push(extract_user_key(m.ikey()).to_vec());
             m.next().unwrap();
         }
-        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(
+            keys,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
     }
 
     #[test]
@@ -312,7 +310,11 @@ mod tests {
         assert_eq!(extract_user_key(m.ikey()), b"q");
     }
 
-    fn table_with(env: &unikv_env::mem::MemEnv, path: &str, keys: &[&[u8]]) -> (Vec<u8>, Arc<Table>) {
+    fn table_with(
+        env: &unikv_env::mem::MemEnv,
+        path: &str,
+        keys: &[&[u8]],
+    ) -> (Vec<u8>, Arc<Table>) {
         use unikv_env::Env;
         use unikv_sstable::{TableBuilder, TableBuilderOptions, TableOptions};
         let mut b = TableBuilder::new(
@@ -320,7 +322,8 @@ mod tests {
             TableBuilderOptions::default(),
         );
         for k in keys {
-            b.add(&make_internal_key(k, 1, ValueType::Value), k).unwrap();
+            b.add(&make_internal_key(k, 1, ValueType::Value), k)
+                .unwrap();
         }
         let props = b.finish().unwrap();
         let table = Table::open(
@@ -374,7 +377,8 @@ mod tests {
         let mut src = ConcatSource::new(vec![]);
         src.seek_to_first().unwrap();
         assert!(!src.valid());
-        src.seek(&make_internal_key(b"x", 1, ValueType::Value)).unwrap();
+        src.seek(&make_internal_key(b"x", 1, ValueType::Value))
+            .unwrap();
         assert!(!src.valid());
     }
 

@@ -4,8 +4,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use unikv_common::coding::{
-    get_length_prefixed_slice, get_varint32, get_varint64, put_length_prefixed_slice,
-    put_varint32, put_varint64,
+    get_length_prefixed_slice, get_varint32, get_varint64, put_length_prefixed_slice, put_varint32,
+    put_varint64,
 };
 use unikv_common::ikey::extract_user_key;
 use unikv_common::{Error, Result};
@@ -111,6 +111,7 @@ pub struct VersionEdit {
     /// Last sequence number covered by flushed tables.
     pub last_sequence: Option<u64>,
     /// Files added: `(level, number, size, smallest, largest)`.
+    #[allow(clippy::type_complexity)]
     pub added: Vec<(u32, u64, u64, Vec<u8>, Vec<u8>)>,
     /// Files deleted: `(level, number)`.
     pub deleted: Vec<(u32, u64)>,
@@ -249,7 +250,7 @@ pub fn apply_edit(base: &Version, edit: &VersionEdit, leveled: bool) -> Arc<Vers
     }
     for (l, level) in levels.iter_mut().enumerate() {
         if l == 0 || !leveled {
-            level.sort_by(|a, b| b.number.cmp(&a.number)); // newest first
+            level.sort_by_key(|t| std::cmp::Reverse(t.number)); // newest first
         } else {
             level.sort_by(|a, b| a.smallest.cmp(&b.smallest));
         }
@@ -274,10 +275,8 @@ mod tests {
             last_sequence: Some(12345),
             ..Default::default()
         };
-        e.added
-            .push((0, 7, 1024, ik(b"a", 1), ik(b"m", 5)));
-        e.added
-            .push((2, 8, 2048, ik(b"n", 2), ik(b"z", 9)));
+        e.added.push((0, 7, 1024, ik(b"a", 1), ik(b"m", 5)));
+        e.added.push((2, 8, 2048, ik(b"n", 2), ik(b"z", 9)));
         e.deleted.push((1, 3));
         let dec = VersionEdit::decode(&e.encode()).unwrap();
         assert_eq!(dec, e);
@@ -323,9 +322,9 @@ mod tests {
         e.added.push((1, 6, 1, ik(b"a", 1), ik(b"c", 1)));
         let v = apply_edit(&v0, &e, true);
         assert_eq!(v.levels[1][0].number, 6); // "a" sorts first
-        // Fragmented keeps newest-first instead.
+                                              // Fragmented keeps newest-first instead.
         let vf = apply_edit(&v0, &e, false);
-        assert_eq!(vf.levels[1][0].number, 6.max(5));
+        assert_eq!(vf.levels[1][0].number, 6);
     }
 
     #[test]

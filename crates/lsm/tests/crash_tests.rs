@@ -142,7 +142,12 @@ fn baselines_all_recover() {
         fault.crash().unwrap();
         let db = LsmDb::open(fault as Arc<_>, "/db", opts).unwrap();
         for i in (0..500).step_by(61) {
-            assert_eq!(db.get(&key(i)).unwrap(), Some(value(i)), "{} key {i}", b.name());
+            assert_eq!(
+                db.get(&key(i)).unwrap(),
+                Some(value(i)),
+                "{} key {i}",
+                b.name()
+            );
         }
     }
 }

@@ -11,7 +11,12 @@ fn ik(k: u8) -> Vec<u8> {
 
 #[derive(Debug, Clone)]
 enum EditStep {
-    Add { level: u32, lo: u8, hi: u8, size: u64 },
+    Add {
+        level: u32,
+        lo: u8,
+        hi: u8,
+        size: u64,
+    },
     DeleteNth(usize),
 }
 

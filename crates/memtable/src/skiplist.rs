@@ -109,7 +109,7 @@ impl<C: Comparator> SkipList<C> {
 
     fn random_height(rng: &mut Rand) -> usize {
         let mut h = 1;
-        while h < MAX_HEIGHT && rng.next() % BRANCHING == 0 {
+        while h < MAX_HEIGHT && rng.next().is_multiple_of(BRANCHING) {
             h += 1;
         }
         h
@@ -204,10 +204,8 @@ impl<C: Comparator> SkipList<C> {
             }
         }
         self.len.fetch_add(1, AtomicOrd::AcqRel);
-        self.memory.fetch_add(
-            entry.len() + std::mem::size_of::<Node>(),
-            AtomicOrd::AcqRel,
-        );
+        self.memory
+            .fetch_add(entry.len() + std::mem::size_of::<Node>(), AtomicOrd::AcqRel);
         true
     }
 
@@ -310,6 +308,7 @@ mod tests {
     use proptest::prelude::*;
     use std::sync::Arc;
 
+    #[allow(clippy::type_complexity)]
     fn bytes_list() -> SkipList<fn(&[u8], &[u8]) -> Ordering> {
         SkipList::new(<[u8]>::cmp as fn(&[u8], &[u8]) -> Ordering)
     }
@@ -353,7 +352,10 @@ mod tests {
             got.push(it.entry().to_vec());
             it.next();
         }
-        assert_eq!(got, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(
+            got,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without crates.io access, so the subset of
+//! proptest's API its tests use is re-implemented here: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map`/`boxed`, `any::<T>()`, `Just`,
+//! ranges as strategies, weighted [`prop_oneof!`], and the collection
+//! strategies (`vec`, `btree_set`, `btree_map`).
+//!
+//! Differences from real proptest, deliberate at this scale:
+//!
+//! * **No shrinking.** A failing case prints its generated inputs (via a
+//!   drop guard) and panics; it is not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test name, so runs are reproducible without a persistence file.
+//! * `prop_assert*` macros are plain `assert*` (they panic rather than
+//!   returning `Err`), which is indistinguishable for these tests.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// The glob import every proptest test starts with.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when a precondition does not hold.
+///
+/// Real proptest rejects the case and draws a replacement; this shim
+/// simply returns from the case early, which costs one case's worth of
+/// coverage and nothing else.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Choose among strategies, optionally weighted (`3 => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(&($cfg), stringify!($name), |__rng, __case| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let mut __desc = ::std::string::String::new();
+                $(__desc.push_str(&::std::format!(
+                    "  {} = {:?}\n", stringify!($arg), &$arg));)+
+                let __guard =
+                    $crate::test_runner::CaseGuard::new(stringify!($name), __case, __desc);
+                $body
+                __guard.disarm();
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u8..7, b in 10u64..1000, f in 0.25f64..0.75) {
+            prop_assert!((3..7).contains(&a));
+            prop_assert!((10..1000).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (any::<u8>(), 1usize..4).prop_map(|(x, n)| vec![x; n])) {
+            prop_assert!(!pair.is_empty() && pair.len() < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(any::<u8>(), 2..5),
+            s in crate::collection::btree_set(crate::collection::vec(any::<u8>(), 1..6), 1..10),
+            m in crate::collection::btree_map(any::<u64>(), any::<bool>(), 0..4),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 10);
+            prop_assert!(m.len() < 4);
+        }
+
+        #[test]
+        fn oneof_weighted(x in prop_oneof![3 => Just(1u8), 1 => Just(2u8)]) {
+            prop_assert!(x == 1 || x == 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let draw = || {
+            let mut rng = crate::test_runner::TestRng::seed_for("deterministic");
+            crate::collection::vec(any::<u64>(), 5..6).generate(&mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,122 @@
+//! Case execution: config, deterministic RNG, and failure reporting.
+
+/// Controls how many cases each property test runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A deterministic xoshiro256** RNG, seeded per test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Seed from a 64-bit value via SplitMix64 (never all-zero state).
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derive a stable seed from a test name (FNV-1a), honoring
+    /// `PROPTEST_SEED` when set so failures can be varied or pinned.
+    pub fn seed_for(name: &str) -> TestRng {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0xcbf2_9ce4_8422_2325);
+        let mut h = base;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+
+    /// Next 64 random bits (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Run `f` for each case with a per-test deterministic RNG.
+pub fn run_cases(cfg: &ProptestConfig, name: &str, mut f: impl FnMut(&mut TestRng, u32)) {
+    let mut rng = TestRng::seed_for(name);
+    for case in 0..cfg.cases {
+        f(&mut rng, case);
+    }
+}
+
+/// Prints the generated inputs of a case if it panics (poor man's
+/// shrinking: at least the failing inputs are visible).
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    desc: String,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arm a guard describing the current case.
+    pub fn new(name: &'static str, case: u32, desc: String) -> CaseGuard {
+        CaseGuard {
+            name,
+            case,
+            desc,
+            armed: true,
+        }
+    }
+
+    /// The case finished cleanly; do not report.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest case failed: {} (case #{})\ninputs:\n{}",
+                self.name, self.case, self.desc
+            );
+        }
+    }
+}

@@ -185,7 +185,7 @@ impl BlockIterator {
         // Binary search restart points for the last restart whose key < target.
         let (mut lo, mut hi) = (0usize, self.block.num_restarts - 1);
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             let key = self.restart_key(mid)?;
             if (self.cmp)(&key, target) == Ordering::Less {
                 lo = mid;
@@ -203,6 +203,7 @@ impl BlockIterator {
     }
 
     /// Advance to the next entry (invalid at block end).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<()> {
         assert!(self.valid());
         self.parse_next()
@@ -282,7 +283,12 @@ mod tests {
     #[test]
     fn iterate_all_entries() {
         let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..100u32)
-            .map(|i| (format!("key{i:04}").into_bytes(), format!("val{i}").into_bytes()))
+            .map(|i| {
+                (
+                    format!("key{i:04}").into_bytes(),
+                    format!("val{i}").into_bytes(),
+                )
+            })
             .collect();
         let refs: Vec<(&[u8], &[u8])> = entries
             .iter()

@@ -129,9 +129,7 @@ mod tests {
         let large = BloomFilterPolicy::new(16).create_filter(&refs);
         let count_fp = |filter: &[u8]| {
             (0..5_000)
-                .filter(|i| {
-                    BloomFilterPolicy::key_may_match(format!("no-{i}").as_bytes(), filter)
-                })
+                .filter(|i| BloomFilterPolicy::key_may_match(format!("no-{i}").as_bytes(), filter))
                 .count()
         };
         assert!(count_fp(&small) > count_fp(&large));

@@ -40,7 +40,11 @@ pub struct Table {
 
 impl Table {
     /// Open a table of `size` bytes from `file`.
-    pub fn open(file: Arc<dyn RandomAccessFile>, size: u64, opts: TableOptions) -> Result<Arc<Table>> {
+    pub fn open(
+        file: Arc<dyn RandomAccessFile>,
+        size: u64,
+        opts: TableOptions,
+    ) -> Result<Arc<Table>> {
         if (size as usize) < FOOTER_SIZE {
             return Err(Error::corruption("table file too small for footer"));
         }
@@ -81,10 +85,7 @@ impl Table {
             if let Some(block) = cache.get(self.cache_id, handle.offset) {
                 return Ok(block);
             }
-            let block = Arc::new(Block::new(read_block_payload(
-                self.file.as_ref(),
-                handle,
-            )?)?);
+            let block = Arc::new(Block::new(read_block_payload(self.file.as_ref(), handle)?)?);
             cache.insert(self.cache_id, handle.offset, block.clone());
             Ok(block)
         } else {
@@ -100,11 +101,7 @@ impl Table {
     ///
     /// `filter_key`, when provided, is checked against the Bloom filter
     /// first; a negative answer short-circuits without any I/O.
-    pub fn get(
-        &self,
-        key: &[u8],
-        filter_key: Option<&[u8]>,
-    ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+    pub fn get(&self, key: &[u8], filter_key: Option<&[u8]>) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         if let Some(fk) = filter_key {
             if !self.may_contain(fk) {
                 return Ok(None);
@@ -212,6 +209,7 @@ impl TableIterator {
     }
 
     /// Advance to the next entry.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<()> {
         let d = self.data_iter.as_mut().expect("valid iterator");
         d.next()?;

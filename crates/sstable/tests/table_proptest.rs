@@ -11,11 +11,7 @@ use unikv_env::mem::MemEnv;
 use unikv_env::Env;
 use unikv_sstable::{Table, TableBuilder, TableBuilderOptions, TableOptions};
 
-fn build(
-    entries: &BTreeMap<Vec<u8>, Vec<u8>>,
-    block_size: usize,
-    bloom: bool,
-) -> Arc<Table> {
+fn build(entries: &BTreeMap<Vec<u8>, Vec<u8>>, block_size: usize, bloom: bool) -> Arc<Table> {
     let env = MemEnv::new();
     let path = Path::new("/t.sst");
     let mut b = TableBuilder::new(

@@ -299,7 +299,10 @@ mod tests {
             // Each log holds at most ~(max + one record) bytes.
             assert!(vl.log_size(n).unwrap() <= 256 + 64 + 9);
         }
-        assert_eq!(vl.total_size(), logs.iter().map(|&n| vl.log_size(n).unwrap()).sum::<u64>());
+        assert_eq!(
+            vl.total_size(),
+            logs.iter().map(|&n| vl.log_size(n).unwrap()).sum::<u64>()
+        );
     }
 
     #[test]
@@ -359,7 +362,10 @@ mod tests {
         let vl2 = new_vlog(&env, 1 << 20);
         assert!(vl2.read(&p).unwrap_err().is_corruption());
         // Length mismatch also detected.
-        let bad = ValuePointer { length: p.length + 1, ..p };
+        let bad = ValuePointer {
+            length: p.length + 1,
+            ..p
+        };
         assert!(vl2.read(&bad).is_err());
     }
 

@@ -111,7 +111,7 @@ mod tests {
         let mut w = LogWriter::new(env.new_writable(path).unwrap());
         w.add_record(b"complete").unwrap();
         w.sync().unwrap();
-        w.add_record(&vec![7u8; 100]).unwrap();
+        w.add_record(&[7u8; 100]).unwrap();
         drop(w);
         // Simulate the crash: truncate to just after the first record.
         let full = env.read_to_vec(path).unwrap();

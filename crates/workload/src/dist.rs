@@ -1,13 +1,12 @@
 //! Key-choice distributions (YCSB-compatible).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use unikv_common::rng::DetRng;
 
 /// Chooses the next record index from `[0, n)` where `n` may grow as
 /// inserts happen.
 pub trait KeyChooser: Send {
     /// Next record index given the current record count.
-    fn next_key(&mut self, rng: &mut StdRng, record_count: u64) -> u64;
+    fn next_key(&mut self, rng: &mut DetRng, record_count: u64) -> u64;
     /// Distribution name for experiment tables.
     fn name(&self) -> &'static str;
 }
@@ -17,8 +16,8 @@ pub trait KeyChooser: Send {
 pub struct UniformChooser;
 
 impl KeyChooser for UniformChooser {
-    fn next_key(&mut self, rng: &mut StdRng, record_count: u64) -> u64 {
-        rng.gen_range(0..record_count.max(1))
+    fn next_key(&mut self, rng: &mut DetRng, record_count: u64) -> u64 {
+        rng.u64_in(0..record_count.max(1))
     }
     fn name(&self) -> &'static str {
         "uniform"
@@ -32,7 +31,7 @@ pub struct SequentialChooser {
 }
 
 impl KeyChooser for SequentialChooser {
-    fn next_key(&mut self, _rng: &mut StdRng, record_count: u64) -> u64 {
+    fn next_key(&mut self, _rng: &mut DetRng, record_count: u64) -> u64 {
         let k = self.next % record_count.max(1);
         self.next += 1;
         k
@@ -97,9 +96,9 @@ impl Zipfian {
     }
 
     /// Draw a rank in `[0, n)`.
-    pub fn next_rank(&mut self, rng: &mut StdRng, n: u64) -> u64 {
+    pub fn next_rank(&mut self, rng: &mut DetRng, n: u64) -> u64 {
         self.extend_to(n.max(1));
-        let u: f64 = rng.gen();
+        let u: f64 = rng.next_f64();
         let uz = u * self.zeta_n;
         if uz < 1.0 {
             return 0;
@@ -113,7 +112,7 @@ impl Zipfian {
 }
 
 impl KeyChooser for Zipfian {
-    fn next_key(&mut self, rng: &mut StdRng, record_count: u64) -> u64 {
+    fn next_key(&mut self, rng: &mut DetRng, record_count: u64) -> u64 {
         self.next_rank(rng, record_count)
     }
     fn name(&self) -> &'static str {
@@ -138,7 +137,7 @@ impl ScrambledZipfian {
 }
 
 impl KeyChooser for ScrambledZipfian {
-    fn next_key(&mut self, rng: &mut StdRng, record_count: u64) -> u64 {
+    fn next_key(&mut self, rng: &mut DetRng, record_count: u64) -> u64 {
         let rank = self.inner.next_rank(rng, record_count);
         // FNV-style scramble, then fold into range.
         let h = unikv_hash(rank);
@@ -166,7 +165,7 @@ impl LatestChooser {
 }
 
 impl KeyChooser for LatestChooser {
-    fn next_key(&mut self, rng: &mut StdRng, record_count: u64) -> u64 {
+    fn next_key(&mut self, rng: &mut DetRng, record_count: u64) -> u64 {
         let n = record_count.max(1);
         let back = self.inner.next_rank(rng, n);
         n - 1 - back
@@ -188,17 +187,16 @@ fn unikv_hash(v: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(42)
     }
 
     #[test]
     fn uniform_covers_range() {
         let mut c = UniformChooser;
         let mut r = rng();
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for _ in 0..1000 {
             let k = c.next_key(&mut r, 10);
             assert!(k < 10);
@@ -286,7 +284,9 @@ mod tests {
         let draw = || {
             let mut c = ScrambledZipfian::new(1000);
             let mut r = rng();
-            (0..50).map(|_| c.next_key(&mut r, 1000)).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| c.next_key(&mut r, 1000))
+                .collect::<Vec<_>>()
         };
         assert_eq!(draw(), draw());
     }

@@ -12,6 +12,8 @@ pub mod dist;
 pub mod ops;
 pub mod ycsb;
 
-pub use dist::{KeyChooser, LatestChooser, ScrambledZipfian, SequentialChooser, UniformChooser, Zipfian};
+pub use dist::{
+    KeyChooser, LatestChooser, ScrambledZipfian, SequentialChooser, UniformChooser, Zipfian,
+};
 pub use ops::{format_key, make_value, Op, OpKind};
-pub use ycsb::{MixedWorkload, YcsbWorkload, YcsbKind};
+pub use ycsb::{MixedWorkload, YcsbKind, YcsbWorkload};

@@ -2,8 +2,7 @@
 
 use crate::dist::{KeyChooser, LatestChooser, ScrambledZipfian, UniformChooser};
 use crate::ops::{format_key, Op};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use unikv_common::rng::DetRng;
 
 /// The six YCSB core workloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,7 +62,7 @@ impl YcsbKind {
 /// Generator for one YCSB workload over `record_count` preloaded records.
 pub struct YcsbWorkload {
     kind: YcsbKind,
-    rng: StdRng,
+    rng: DetRng,
     chooser: Box<dyn KeyChooser>,
     record_count: u64,
     max_scan_len: usize,
@@ -78,7 +77,7 @@ impl YcsbWorkload {
         };
         YcsbWorkload {
             kind,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             chooser,
             record_count,
             max_scan_len: 100,
@@ -92,7 +91,7 @@ impl YcsbWorkload {
 
     /// Next operation.
     pub fn next_op(&mut self) -> Op {
-        let p: f64 = self.rng.gen();
+        let p: f64 = self.rng.next_f64();
         match self.kind {
             YcsbKind::A => {
                 if p < 0.5 {
@@ -153,7 +152,7 @@ impl YcsbWorkload {
     }
 
     fn scan(&mut self) -> Op {
-        let len = self.rng.gen_range(1..=self.max_scan_len);
+        let len = self.rng.usize_in_incl(1..=self.max_scan_len);
         Op::Scan(self.pick(), len)
     }
 
@@ -165,7 +164,7 @@ impl YcsbWorkload {
 /// Ratio-based mixed read/write stream (the paper's Exp#2: read ratios
 /// 0%, 25%, 50%, 75%, 100% under a skewed key distribution).
 pub struct MixedWorkload {
-    rng: StdRng,
+    rng: DetRng,
     chooser: Box<dyn KeyChooser>,
     record_count: u64,
     read_ratio: f64,
@@ -182,7 +181,7 @@ impl MixedWorkload {
             Box::new(ScrambledZipfian::new(record_count))
         };
         MixedWorkload {
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             chooser,
             record_count,
             read_ratio,
@@ -192,7 +191,7 @@ impl MixedWorkload {
     /// Next operation.
     pub fn next_op(&mut self) -> Op {
         let k = self.chooser.next_key(&mut self.rng, self.record_count);
-        if self.rng.gen::<f64>() < self.read_ratio {
+        if self.rng.next_f64() < self.read_ratio {
             Op::Read(format_key(k))
         } else {
             Op::Update(format_key(k))

@@ -37,7 +37,9 @@ fn main() -> unikv_common::Result<()> {
         }
         println!(
             "  engine state before crash: {} flushes, {} merges, {} partitions",
-            db.stats().flushes.load(std::sync::atomic::Ordering::Relaxed),
+            db.stats()
+                .flushes
+                .load(std::sync::atomic::Ordering::Relaxed),
             db.stats().merges.load(std::sync::atomic::Ordering::Relaxed),
             db.partition_count(),
         );
@@ -46,7 +48,10 @@ fn main() -> unikv_common::Result<()> {
 
     println!("simulating power failure (all unsynced bytes discarded)...");
     let affected = fault.crash()?;
-    println!("  {} files rolled back to their synced prefix", affected.len());
+    println!(
+        "  {} files rolled back to their synced prefix",
+        affected.len()
+    );
 
     println!("recovering...");
     let db = UniKv::open(fault.clone() as Arc<_>, "/db", opts)?;

@@ -43,10 +43,7 @@ fn main() -> unikv_common::Result<()> {
             println!("ok");
         }
         ("scan", rest) if !rest.is_empty() => {
-            let limit = rest
-                .get(1)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(20usize);
+            let limit = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(20usize);
             for item in db.scan(rest[0].as_bytes(), limit)? {
                 println!(
                     "{}\t{}",
@@ -71,7 +68,10 @@ fn main() -> unikv_common::Result<()> {
             for (name, value) in db.stats().snapshot() {
                 println!("{name}: {value}");
             }
-            println!("write amplification: {:.2}", db.stats().write_amplification());
+            println!(
+                "write amplification: {:.2}",
+                db.stats().write_amplification()
+            );
         }
         ("compact", []) => {
             db.compact_all()?;
@@ -82,9 +82,9 @@ fn main() -> unikv_common::Result<()> {
             println!("gc done");
         }
         ("fill", rest) if !rest.is_empty() => {
-            let n: u64 = rest[0].parse().map_err(|_| {
-                unikv_common::Error::invalid_argument("fill needs a number")
-            })?;
+            let n: u64 = rest[0]
+                .parse()
+                .map_err(|_| unikv_common::Error::invalid_argument("fill needs a number"))?;
             let vs: usize = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
             for i in 0..n {
                 let key = format!("user{i:012}");

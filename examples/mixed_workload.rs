@@ -1,7 +1,8 @@
 //! The paper's motivating scenario: a mixed read/write workload with
-//! strong skew, run against UniKV and a LevelDB-like baseline side by
-//! side. Prints throughput and the engines' internal work counters so you
-//! can see *why* the numbers differ (merges vs compactions, write amp).
+//! strong skew, run against UniKV (inline and background maintenance) and
+//! a LevelDB-like baseline side by side. Prints throughput and the
+//! engines' internal work counters so you can see *why* the numbers
+//! differ (merges vs compactions, write amp, stalls).
 //!
 //! ```sh
 //! cargo run --release --example mixed_workload [-- <num_keys> <num_ops>]
@@ -20,24 +21,23 @@ fn main() -> unikv_common::Result<()> {
     let num_ops: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(50_000);
     let value_size = 256usize;
 
-    println!("mixed 50/50 zipfian workload: {num_keys} keys, {num_ops} ops, {value_size}B values\n");
+    println!(
+        "mixed 50/50 zipfian workload: {num_keys} keys, {num_ops} ops, {value_size}B values\n"
+    );
 
     // --- UniKV ---
     let dir = std::env::temp_dir().join(format!("unikv-mixed-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let env = Arc::new(FsEnv::new());
-    let unikv = UniKv::open(
-        env.clone(),
-        dir.join("unikv"),
-        UniKvOptions {
-            write_buffer_size: 256 << 10,
-            table_size: 256 << 10,
-            unsorted_limit_bytes: 2 << 20,
-            scan_merge_limit: 6,
-            partition_size_limit: 8 << 20,
-            ..Default::default()
-        },
-    )?;
+    let scaled_opts = UniKvOptions {
+        write_buffer_size: 256 << 10,
+        table_size: 256 << 10,
+        unsorted_limit_bytes: 2 << 20,
+        scan_merge_limit: 6,
+        partition_size_limit: 8 << 20,
+        ..Default::default()
+    };
+    let unikv = UniKv::open(env.clone(), dir.join("unikv"), scaled_opts.clone())?;
     run("UniKV", num_keys, num_ops, value_size, |op, i| match op {
         Op::Read(k) => unikv.get(&k).map(|_| ()),
         Op::Update(k) => unikv.put(&k, &make_value(i, 1, value_size)),
@@ -50,17 +50,61 @@ fn main() -> unikv_common::Result<()> {
         unikv.index_memory_bytes() as f64 / 1024.0
     );
 
+    // --- UniKV with background maintenance ---
+    // Same engine, but flush/merge/GC/split run on worker threads; writes
+    // only brake when the backpressure thresholds trip.
+    let bg_opts = UniKvOptions {
+        background_jobs: 2,
+        ..scaled_opts
+    };
+    let unikv_bg = UniKv::open(env.clone(), dir.join("unikv-bg"), bg_opts)?;
+    run(
+        "UniKV (bg)",
+        num_keys,
+        num_ops,
+        value_size,
+        |op, i| match op {
+            Op::Read(k) => unikv_bg.get(&k).map(|_| ()),
+            Op::Update(k) => unikv_bg.put(&k, &make_value(i, 1, value_size)),
+            _ => Ok(()),
+        },
+    )?;
+    unikv_bg.wait_for_background();
+    if let Some(err) = unikv_bg.background_error() {
+        eprintln!("  background maintenance failed: {err}");
+    }
+    let snap: std::collections::HashMap<_, _> = unikv_bg.stats().snapshot().into_iter().collect();
+    println!(
+        "  write amp {:.2}, partitions {}, jobs {} done / {} failed",
+        unikv_bg.stats().write_amplification(),
+        unikv_bg.partition_count(),
+        snap["maint_jobs_completed"],
+        snap["maint_jobs_failed"],
+    );
+    println!(
+        "  stalls: {} slowdowns, {} stops, {:.1} ms stalled",
+        snap["stall_slowdowns"],
+        snap["stall_stops"],
+        snap["stall_time_micros"] as f64 / 1000.0
+    );
+
     // --- LevelDB-like baseline ---
     let mut lsm_opts = LsmOptions::baseline(Baseline::LevelDb);
     lsm_opts.write_buffer_size = 256 << 10;
     lsm_opts.table_size = 256 << 10;
     lsm_opts.base_level_bytes = 1 << 20;
     let leveldb = LsmDb::open(env, dir.join("leveldb"), lsm_opts)?;
-    run("LevelDB-like", num_keys, num_ops, value_size, |op, i| match op {
-        Op::Read(k) => leveldb.get(&k).map(|_| ()),
-        Op::Update(k) => leveldb.put(&k, &make_value(i, 1, value_size)),
-        _ => Ok(()),
-    })?;
+    run(
+        "LevelDB-like",
+        num_keys,
+        num_ops,
+        value_size,
+        |op, i| match op {
+            Op::Read(k) => leveldb.get(&k).map(|_| ()),
+            Op::Update(k) => leveldb.put(&k, &make_value(i, 1, value_size)),
+            _ => Ok(()),
+        },
+    )?;
     println!(
         "  write amp {:.2}, compactions {}",
         leveldb.stats().write_amplification(),
@@ -96,9 +140,11 @@ fn run(
     }
     let mixed = start.elapsed().as_secs_f64();
 
+    let load_mb = (num_keys as usize * value_size) as f64 / (1 << 20) as f64;
     println!(
-        "{name:14} load {:8.1} kops/s   mixed 50/50 {:8.1} kops/s",
+        "{name:14} load {:8.1} kops/s ({:.1} MiB/s)   mixed 50/50 {:8.1} kops/s",
         num_keys as f64 / load / 1000.0,
+        load_mb / load,
         num_ops as f64 / mixed / 1000.0
     );
     Ok(())

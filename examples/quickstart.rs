@@ -44,7 +44,10 @@ fn main() -> unikv_common::Result<()> {
 
         // Deletes write tombstones that shadow older versions.
         db.delete(b"city:bj")?;
-        println!("after delete, get city:bj -> {:?}", as_str(db.get(b"city:bj")?));
+        println!(
+            "after delete, get city:bj -> {:?}",
+            as_str(db.get(b"city:bj")?)
+        );
 
         // Force everything to disk so the reopen below exercises recovery
         // from tables rather than the WAL.

@@ -32,7 +32,10 @@ fn main() -> unikv_common::Result<()> {
 
     let n: u64 = 60_000;
     let value_size = 200;
-    println!("loading {n} keys ({} MiB of values)...", n * value_size / (1 << 20));
+    println!(
+        "loading {n} keys ({} MiB of values)...",
+        n * value_size / (1 << 20)
+    );
     let mut last_partitions = db.partition_count();
     for i in 0..n {
         db.put(&format_key(i), &make_value(i, 0, value_size as usize))?;

@@ -16,6 +16,7 @@ fn small_lsm(b: Baseline) -> LsmOptions {
     o
 }
 
+#[allow(clippy::large_enum_variant)]
 enum AnyDb {
     Uni(UniKv),
     Lsm(LsmDb),
@@ -86,7 +87,9 @@ fn all_engines_agree_with_model() {
                 e.delete(&k);
             }
         } else {
-            let v = format!("v{step}-").into_bytes().repeat(3 + (step % 11) as usize);
+            let v = format!("v{step}-")
+                .into_bytes()
+                .repeat(3 + (step % 11) as usize);
             model.insert(k.clone(), v.clone());
             for (_, e) in &engines {
                 e.put(&k, &v);

@@ -74,7 +74,11 @@ fn repeated_crash_cycles() {
             let db = UniKv::open(fault.clone() as Arc<_>, "/db", crash_opts()).unwrap();
             // Everything from prior rounds must still be there.
             for (k, v) in &expect {
-                assert_eq!(db.get(k).unwrap().as_deref(), Some(v.as_slice()), "round {round}");
+                assert_eq!(
+                    db.get(k).unwrap().as_deref(),
+                    Some(v.as_slice()),
+                    "round {round}"
+                );
             }
             for i in 0..400u64 {
                 let k = format_key(round * 400 + i);
