@@ -23,10 +23,15 @@
 
 use crate::batch::{decode_batch_record, encode_batch_record, WriteBatch};
 use crate::fetch::FetchPool;
-use crate::maintenance::{stall_level, worker_loop, Job, JobKind, MaintState, StallLevel};
+use crate::maintenance::{
+    stall_level, worker_loop, Job, JobKind, MaintState, StallLevel, SyncPoints,
+};
 use crate::meta::{DbMeta, LogRef, PartitionMeta, TableMeta};
 use crate::options::UniKvOptions;
-use crate::partition::{checkpoint_due, table_options, Partition, SealedMem, INDEX_CKPT};
+use crate::partition::{
+    checkpoint_due, decode_index_ckpt, encode_index_ckpt, table_options, Partition, SealedMem,
+    INDEX_CKPT,
+};
 use crate::resolver::{partition_dir, ValueResolver};
 use parking_lot::RwLock;
 use std::collections::HashSet;
@@ -96,6 +101,13 @@ pub struct UniKvStats {
     pub maint_jobs_failed: AtomicU64,
     /// Most recently observed maintenance queue depth.
     pub maint_queue_depth: AtomicU64,
+    /// Checksum/structure failures detected (and surfaced as
+    /// `Error::Corruption`) instead of serving garbage.
+    pub corruptions_detected: AtomicU64,
+    /// Non-corruption I/O errors surfaced by read paths.
+    pub read_io_errors: AtomicU64,
+    /// WAL bytes dropped as torn tails during recovery replay.
+    pub wal_dropped_bytes: AtomicU64,
 }
 
 impl UniKvStats {
@@ -141,6 +153,9 @@ impl UniKvStats {
             ("maint_jobs_completed", l(&self.maint_jobs_completed)),
             ("maint_jobs_failed", l(&self.maint_jobs_failed)),
             ("maint_queue_depth", l(&self.maint_queue_depth)),
+            ("corruptions_detected", l(&self.corruptions_detected)),
+            ("read_io_errors", l(&self.read_io_errors)),
+            ("wal_dropped_bytes", l(&self.wal_dropped_bytes)),
         ]
     }
 }
@@ -198,6 +213,7 @@ pub(crate) struct DbInner {
     fetch_pool: FetchPool,
     pub(crate) stats: Arc<UniKvStats>,
     pub(crate) maint: MaintState,
+    pub(crate) sync: SyncPoints,
 }
 
 impl DbInner {
@@ -256,9 +272,23 @@ impl DbInner {
                 pmeta,
                 &mut last_seq,
                 &mut next_file,
+                &stats,
             )?;
             core.partitions.push(p);
             stale_wals.extend(stale);
+        }
+        if opts.paranoid_checks {
+            // Every inherited value-log reference must resolve to a file;
+            // a missing one means committed pointers would dangle.
+            for r in &inherited_refs {
+                let path = partition_dir(&root, r.0).join(vlog_file_name(r.1));
+                if !env.file_exists(&path) {
+                    return Err(Error::corruption(format!(
+                        "inherited value log missing: {}",
+                        path.display()
+                    )));
+                }
+            }
         }
         core.last_seq = last_seq;
         core.next_file = next_file;
@@ -274,6 +304,7 @@ impl DbInner {
             core: RwLock::new(core),
             stats,
             maint: MaintState::new(),
+            sync: SyncPoints::default(),
         };
 
         // Flush any memtable rebuilt from a WAL so the on-disk state is
@@ -599,8 +630,24 @@ impl DbInner {
     // Reads
     // ---------------------------------------------------------------
 
+    /// Surface read-path failures to the stats counters: corruption
+    /// detected anywhere along a read (block CRC, value CRC, pointer
+    /// decode) and I/O errors bubbling out of the environment.
+    fn track_read<T>(&self, r: Result<T>) -> Result<T> {
+        match &r {
+            Err(Error::Corruption(_)) => UniKvStats::add(&self.stats.corruptions_detected, 1),
+            Err(Error::Io(_)) => UniKvStats::add(&self.stats.read_io_errors, 1),
+            _ => {}
+        }
+        r
+    }
+
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.track_read(self.get_impl(key))
+    }
+
+    fn get_impl(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let core = self.core.read();
         let snapshot = core.last_seq;
         let p = &core.partitions[core.route(key)];
@@ -712,6 +759,16 @@ impl DbInner {
     /// Range scan bounded above: up to `limit` live entries with
     /// `from <= key < end` (`end = None` means unbounded).
     pub fn scan_range(
+        &self,
+        from: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<ScanItem>> {
+        let r = self.scan_range_impl(from, end, limit);
+        self.track_read(r)
+    }
+
+    fn scan_range_impl(
         &self,
         from: &[u8],
         end: Option<&[u8]>,
@@ -923,17 +980,23 @@ impl DbInner {
         if p.mem.is_empty() {
             return Ok(());
         }
+        self.sync.hit("seal:begin")?;
         p.wal.sync()?;
         let dir = partition_dir(&self.root, p.meta.id);
+        // Create the replacement WAL before touching any state: if the
+        // create fails, the memtable and its WAL are still fully intact.
+        let new_writer =
+            LogWriter::new(self.env.new_writable(&filenames::wal_file(&dir, new_wal))?);
         let sealed = std::mem::replace(&mut p.mem, Arc::new(MemTable::new()));
         let old_wal = p.meta.wal_number;
-        p.wal = LogWriter::new(self.env.new_writable(&filenames::wal_file(&dir, new_wal))?);
+        p.wal = new_writer;
         p.meta.wal_number = new_wal;
         p.meta.sealed_wals.push(old_wal);
         p.imms.push(SealedMem {
             wal_number: old_wal,
             mem: sealed,
         });
+        self.sync.hit("seal:commit")?;
         self.commit_meta(core)
     }
 
@@ -947,6 +1010,7 @@ impl DbInner {
         table_number: u64,
         mem: Arc<MemTable>,
     ) -> Result<(TableMeta, Vec<Vec<u8>>)> {
+        self.sync.hit("flush:build")?;
         let mut builder = TableBuilder::new(
             self.env
                 .new_writable(&filenames::table_file(dir, table_number))?,
@@ -980,9 +1044,9 @@ impl DbInner {
     }
 
     /// Install a flushed table under the write lock: append it to the
-    /// UnsortedStore, feed the hash index, retire the flushed WAL
-    /// (`sealed = true` pops the matching sealed memtable), checkpoint the
-    /// index on cadence, and commit META.
+    /// UnsortedStore, feed the hash index, retire the flushed WAL and pop
+    /// the matching sealed memtable, checkpoint the index on cadence, and
+    /// commit META.
     fn install_flush(
         &self,
         core: &mut DbCore,
@@ -990,8 +1054,8 @@ impl DbInner {
         tmeta: TableMeta,
         keys: &[Vec<u8>],
         old_wal: u64,
-        sealed: bool,
     ) -> Result<()> {
+        self.sync.hit("flush:install")?;
         let table_number = tmeta.number;
         UniKvStats::add(&self.stats.bytes_flushed, tmeta.size);
         UniKvStats::add(&self.stats.flushes, 1);
@@ -1002,23 +1066,26 @@ impl DbInner {
                 p.index.insert(key, table_number as u32);
             }
         }
-        if sealed {
-            p.imms.retain(|s| s.wal_number != old_wal);
-            p.meta.sealed_wals.retain(|w| *w != old_wal);
-        }
+        p.imms.retain(|s| s.wal_number != old_wal);
+        p.meta.sealed_wals.retain(|w| *w != old_wal);
 
         // Periodic hash-index checkpoint (paper: every unsorted_limit/2
         // flushes).
         let dir = partition_dir(&self.root, p.meta.id);
         p.flushes_since_ckpt += 1;
         if self.opts.enable_hash_index && checkpoint_due(&self.opts, p.flushes_since_ckpt) {
-            self.env
-                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
-            p.meta.ckpt_tables = p.meta.unsorted.iter().map(|t| t.number).collect();
+            let covered: Vec<u64> = p.meta.unsorted.iter().map(|t| t.number).collect();
+            self.env.write_atomic(
+                &dir.join(INDEX_CKPT),
+                &encode_index_ckpt(&covered, &p.index),
+            )?;
+            p.meta.ckpt_tables = covered;
             p.flushes_since_ckpt = 0;
         }
 
+        self.sync.hit("flush:commit")?;
         self.commit_meta(core)?;
+        self.sync.hit("flush:cleanup")?;
         // Old WAL is obsolete once META no longer names it.
         let p = &core.partitions[pidx];
         let dir = partition_dir(&self.root, p.meta.id);
@@ -1031,32 +1098,25 @@ impl DbInner {
     }
 
     /// Flush the partition's memtable into a new UnsortedStore table.
-    /// Sealed memtables (background mode) are drained first, oldest first,
-    /// so newer data keeps shadowing older data; in inline mode `imms` is
-    /// always empty and the file-number allocation order is unchanged from
-    /// previous versions (byte-identical layout).
+    /// Inline flushes go through the same seal-then-drain protocol as
+    /// background mode: the active memtable is sealed (its WAL enters
+    /// `sealed_wals` and META commits) *before* the fallible table build,
+    /// so an aborted build — transient I/O error or injected fault — leaves
+    /// both the in-memory and the committed state referencing every acked
+    /// byte. Sealed memtables drain oldest first, so newer data keeps
+    /// shadowing older data.
     fn flush_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+        if !core.partitions[pidx].mem.is_empty() {
+            self.seal_memtable(core, pidx)?;
+        }
         while !core.partitions[pidx].imms.is_empty() {
             let table_number = core.alloc_file();
             let sealed = core.partitions[pidx].imms[0].clone();
             let dir = partition_dir(&self.root, core.partitions[pidx].meta.id);
             let (tmeta, keys) = self.build_flush_table(&dir, table_number, sealed.mem)?;
-            self.install_flush(core, pidx, tmeta, &keys, sealed.wal_number, true)?;
+            self.install_flush(core, pidx, tmeta, &keys, sealed.wal_number)?;
         }
-        let table_number = core.alloc_file();
-        let new_wal = core.alloc_file();
-        let p = &mut core.partitions[pidx];
-        if p.mem.is_empty() {
-            return Ok(());
-        }
-        p.wal.sync()?;
-        let imm = std::mem::replace(&mut p.mem, Arc::new(MemTable::new()));
-        let old_wal = p.meta.wal_number;
-        let dir = partition_dir(&self.root, p.meta.id);
-        p.wal = LogWriter::new(self.env.new_writable(&filenames::wal_file(&dir, new_wal))?);
-        p.meta.wal_number = new_wal;
-        let (tmeta, keys) = self.build_flush_table(&dir, table_number, imm)?;
-        self.install_flush(core, pidx, tmeta, &keys, old_wal, false)
+        Ok(())
     }
 
     fn table_builder_opts(&self) -> TableBuilderOptions {
@@ -1082,6 +1142,7 @@ impl DbInner {
         if p.meta.unsorted.is_empty() && p.meta.sorted.is_empty() {
             return Ok(());
         }
+        self.sync.hit("merge:begin")?;
         let dir = partition_dir(&self.root, p.meta.id);
         let input_bytes = p.unsorted_bytes() + p.sorted_bytes();
 
@@ -1168,6 +1229,7 @@ impl DbInner {
         }
         *next_file = start_file + used;
         p.vlog.lock().sync()?;
+        self.sync.hit("merge:build")?;
 
         UniKvStats::add(&self.stats.merge_bytes_read, input_bytes);
         UniKvStats::add(&self.stats.merge_bytes_written, written);
@@ -1188,10 +1250,12 @@ impl DbInner {
         p.flushes_since_ckpt = 0;
         if self.opts.enable_hash_index {
             self.env
-                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
+                .write_atomic(&dir.join(INDEX_CKPT), &encode_index_ckpt(&[], &p.index))?;
         }
 
+        self.sync.hit("merge:commit")?;
         self.commit_meta(core)?;
+        self.sync.hit("merge:cleanup")?;
         let p = &mut core.partitions[pidx];
         let dir = partition_dir(&self.root, p.meta.id);
         for t in old_tables {
@@ -1212,6 +1276,7 @@ impl DbInner {
         if p.meta.unsorted.len() < 2 {
             return Ok(());
         }
+        self.sync.hit("scanmerge:begin")?;
         let dir = partition_dir(&self.root, p.meta.id);
 
         let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
@@ -1244,6 +1309,7 @@ impl DbInner {
             iter.next()?;
         }
         let props = builder.finish()?;
+        self.sync.hit("scanmerge:build")?;
         UniKvStats::add(&self.stats.merge_bytes_written, props.file_size);
         UniKvStats::add(&self.stats.scan_merges, 1);
 
@@ -1258,13 +1324,17 @@ impl DbInner {
         );
         p.index = new_index;
         if self.opts.enable_hash_index {
-            self.env
-                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
+            self.env.write_atomic(
+                &dir.join(INDEX_CKPT),
+                &encode_index_ckpt(&[table_number], &p.index),
+            )?;
             p.meta.ckpt_tables = vec![table_number];
             p.flushes_since_ckpt = 0;
         }
 
+        self.sync.hit("scanmerge:commit")?;
         self.commit_meta(core)?;
+        self.sync.hit("scanmerge:cleanup")?;
         let p = &mut core.partitions[pidx];
         let dir = partition_dir(&self.root, p.meta.id);
         for t in old_tables {
@@ -1328,9 +1398,9 @@ impl DbInner {
             }
             return Ok(());
         }
+        self.sync.hit("gc:begin")?;
         let dir = partition_dir(&self.root, p.meta.id);
         let old_logs: Vec<u64> = p.vlog.lock().log_numbers();
-        let old_inherited = std::mem::take(&mut p.meta.inherited_logs);
 
         // Step 1+2 of the paper's protocol: identify valid values by
         // scanning the SortedStore in key order, read them, and append to
@@ -1397,11 +1467,19 @@ impl DbInner {
         }
         *next_file = start_file + used;
         p.vlog.lock().sync()?;
+        self.sync.hit("gc:build")?;
 
         UniKvStats::add(&self.stats.gc_bytes_written, written);
         UniKvStats::add(&self.stats.gcs, 1);
 
+        // All in-memory meta mutations happen together, only after every
+        // fallible build step succeeded: an abort above (injected fault or
+        // real I/O error) must leave `p.meta` exactly as committed, or a
+        // later successful commit would persist a half-applied GC — e.g.
+        // dropping `inherited_logs` that rewritten pointers still need,
+        // turning those logs into orphans deleted on the next open.
         let old_tables = std::mem::replace(&mut p.meta.sorted, new_tables);
+        let old_inherited = std::mem::take(&mut p.meta.inherited_logs);
         let new_logs: Vec<u64> = p
             .vlog
             .lock()
@@ -1414,7 +1492,9 @@ impl DbInner {
 
         // Step 4: the META commit is the GC_done mark; afterwards old logs
         // and tables may be deleted.
+        self.sync.hit("gc:commit")?;
         self.commit_meta(core)?;
+        self.sync.hit("gc:cleanup")?;
         let p = &mut core.partitions[pidx];
         let dir = partition_dir(&self.root, p.meta.id);
         for t in old_tables {
@@ -1497,6 +1577,7 @@ impl DbInner {
         if total < 2 {
             return Ok(()); // cannot split fewer than two keys
         }
+        self.sync.hit("split:begin")?;
         let half = total / 2;
 
         // Allocate children. Table numbers for the split outputs come from
@@ -1641,6 +1722,7 @@ impl DbInner {
             child.vlog.sync()?;
         }
         let boundary = boundary.expect("total >= 2 guarantees a right half");
+        self.sync.hit("split:build")?;
 
         UniKvStats::add(
             &self.stats.split_bytes_written,
@@ -1692,7 +1774,9 @@ impl DbInner {
         core.partitions.insert(pidx + 1, right_p);
         core.next_file = split_file_start + split_files_used;
 
+        self.sync.hit("split:commit")?;
         self.commit_meta(core)?;
+        self.sync.hit("split:cleanup")?;
 
         // Delete the parent's table files, WAL, and index checkpoint; keep
         // its value logs (now shared with the children, freed by lazy GC).
@@ -1758,7 +1842,7 @@ impl DbInner {
             let Some(pidx) = core.partition_index(pid) else {
                 return Ok(());
             };
-            self.install_flush(&mut core, pidx, tmeta, &keys, sealed.wal_number, true)?;
+            self.install_flush(&mut core, pidx, tmeta, &keys, sealed.wal_number)?;
             self.schedule_triggers(&core, pidx);
         }
     }
@@ -1800,6 +1884,7 @@ impl DbInner {
                 p.vlog.clone(),
             )
         };
+        self.sync.hit("merge:begin")?;
         let input_bytes = consumed.iter().map(|t| t.size).sum::<u64>()
             + sorted_metas.iter().map(|t| t.size).sum::<u64>();
 
@@ -1878,6 +1963,7 @@ impl DbInner {
             t.largest = props.largest;
         }
         vlog.lock().sync()?;
+        self.sync.hit("merge:build")?;
 
         // Phase 3: install.
         let mut core = self.core.write();
@@ -1914,12 +2000,17 @@ impl DbInner {
         p.meta.ckpt_tables.retain(|n| !consumed_ids.contains(n));
         p.flushes_since_ckpt = 0;
         if self.opts.enable_hash_index {
-            self.env
-                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
-            p.meta.ckpt_tables = p.meta.unsorted.iter().map(|t| t.number).collect();
+            let covered: Vec<u64> = p.meta.unsorted.iter().map(|t| t.number).collect();
+            self.env.write_atomic(
+                &dir.join(INDEX_CKPT),
+                &encode_index_ckpt(&covered, &p.index),
+            )?;
+            p.meta.ckpt_tables = covered;
         }
 
+        self.sync.hit("merge:commit")?;
         self.commit_meta(&core)?;
+        self.sync.hit("merge:cleanup")?;
         let p = &mut core.partitions[pidx];
         for t in old_tables {
             p.evict_table(t.number);
@@ -1958,6 +2049,7 @@ impl DbInner {
                 handles,
             )
         };
+        self.sync.hit("scanmerge:begin")?;
 
         // Phase 2: merge into one table, collecting kept keys.
         let children: Vec<Box<dyn InternalIterator>> = handles
@@ -1987,6 +2079,7 @@ impl DbInner {
             iter.next()?;
         }
         let props = builder.finish()?;
+        self.sync.hit("scanmerge:build")?;
         let tmeta = TableMeta {
             number: table_number,
             size: props.file_size,
@@ -2021,13 +2114,18 @@ impl DbInner {
             for key in &keys {
                 p.index.insert(key, table_number as u32);
             }
-            self.env
-                .write_atomic(&dir.join(INDEX_CKPT), &p.index.checkpoint())?;
-            p.meta.ckpt_tables = p.meta.unsorted.iter().map(|t| t.number).collect();
+            let covered: Vec<u64> = p.meta.unsorted.iter().map(|t| t.number).collect();
+            self.env.write_atomic(
+                &dir.join(INDEX_CKPT),
+                &encode_index_ckpt(&covered, &p.index),
+            )?;
+            p.meta.ckpt_tables = covered;
             p.flushes_since_ckpt = 0;
         }
 
+        self.sync.hit("scanmerge:commit")?;
         self.commit_meta(&core)?;
+        self.sync.hit("scanmerge:cleanup")?;
         let p = &mut core.partitions[pidx];
         for t in old_tables {
             p.evict_table(t.number);
@@ -2124,6 +2222,15 @@ impl UniKv {
     /// Counters.
     pub fn stats(&self) -> &UniKvStats {
         self.inner.stats()
+    }
+
+    /// The named sync-point registry for crash testing: arm a hook to
+    /// observe (or abort, by returning `Err`) structural operations at
+    /// any of the [`crate::maintenance::SYNC_POINTS`]. An abort models a
+    /// crash at that step — drop the database and reopen to exercise
+    /// recovery.
+    pub fn sync_points(&self) -> &crate::maintenance::SyncPoints {
+        &self.inner.sync
     }
 
     /// Options this database was opened with.
@@ -2309,6 +2416,7 @@ fn sweep_partition_dir(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn open_partition(
     env: &Arc<dyn Env>,
     root: &Path,
@@ -2317,29 +2425,71 @@ fn open_partition(
     pmeta: &PartitionMeta,
     last_seq: &mut SequenceNumber,
     next_file: &mut u64,
+    stats: &UniKvStats,
 ) -> Result<(Partition, Vec<PathBuf>)> {
     let dir = partition_dir(root, pmeta.id);
     env.create_dir_all(&dir)?;
+
+    if opts.paranoid_checks {
+        // Verify every file META commits to before trusting the partition:
+        // tables must exist at their recorded size with a parseable
+        // footer + index, and every owned value log must exist. Data-block
+        // and value checksums are verified on every read regardless.
+        for tmeta in pmeta.unsorted.iter().chain(&pmeta.sorted) {
+            let path = filenames::table_file(&dir, tmeta.number);
+            if !env.file_exists(&path) {
+                return Err(Error::corruption(format!(
+                    "table missing: {}",
+                    path.display()
+                )));
+            }
+            let size = env.file_size(&path)?;
+            if size != tmeta.size {
+                return Err(Error::corruption(format!(
+                    "table {} size {} != recorded {}",
+                    path.display(),
+                    size,
+                    tmeta.size
+                )));
+            }
+            Table::open(env.new_random_access(&path)?, size, topts.clone()).map_err(|e| {
+                Error::corruption(format!("table {} unreadable: {e}", path.display()))
+            })?;
+        }
+        for &n in &pmeta.own_logs {
+            let path = dir.join(vlog_file_name(n));
+            if !env.file_exists(&path) {
+                return Err(Error::corruption(format!(
+                    "value log missing: {}",
+                    path.display()
+                )));
+            }
+        }
+    }
+
     let vlog = ValueLog::open(env.clone(), dir.clone(), pmeta.id, opts.max_log_size)?;
 
     // Rebuild the hash index: restore the checkpoint if present and valid,
     // drop entries for tables that no longer exist, then replay the keys
-    // of tables flushed after the checkpoint.
+    // of tables flushed after the checkpoint. The covered-table list comes
+    // from the checkpoint file itself, never from META: the two files are
+    // written at different instants, and after a crash between them the
+    // META list can describe a checkpoint that was never written (or
+    // vice versa) — trusting it would skip re-indexing live tables.
     let mut index = TwoLevelHashIndex::with_capacity(index_capacity(opts), opts.num_hashes);
     let mut covered: HashSet<u64> = HashSet::new();
     if opts.enable_hash_index {
         let ckpt_path = dir.join(INDEX_CKPT);
         if env.file_exists(&ckpt_path) {
-            if let Ok(restored) = env
+            if let Ok((file_tables, restored)) = env
                 .read_to_vec(&ckpt_path)
-                .and_then(|data| TwoLevelHashIndex::restore(&data))
+                .and_then(|data| decode_index_ckpt(&data))
             {
                 index = restored;
-                covered = pmeta.ckpt_tables.iter().copied().collect();
-                // Remove entries for checkpointed tables that have since
-                // been merged away.
+                // Remove entries for checkpointed tables that are not in
+                // this META snapshot (merged away, or never committed).
                 let live: HashSet<u32> = pmeta.unsorted.iter().map(|t| t.number as u32).collect();
-                let stale: HashSet<u32> = covered
+                let stale: HashSet<u32> = file_tables
                     .iter()
                     .map(|&n| n as u32)
                     .filter(|n| !live.contains(n))
@@ -2347,7 +2497,10 @@ fn open_partition(
                 if !stale.is_empty() {
                     index.remove_tables(&stale);
                 }
-                covered.retain(|n| live.contains(&(*n as u32)));
+                covered = file_tables
+                    .into_iter()
+                    .filter(|&n| live.contains(&(n as u32)))
+                    .collect();
             }
         }
         for tmeta in &pmeta.unsorted {
@@ -2390,9 +2543,19 @@ fn open_partition(
         if !env.file_exists(&path) {
             continue;
         }
-        let mut reader = LogReader::new(env.new_sequential(&path)?);
+        // Paranoid replay distinguishes a torn tail (truncated, normal)
+        // from mid-log damage (an error: acked records would be lost).
+        let mut reader = if opts.paranoid_checks {
+            LogReader::new_strict(env.new_sequential(&path)?)
+        } else {
+            LogReader::new(env.new_sequential(&path)?)
+        };
         let mut buf = Vec::new();
-        while reader.read_record(&mut buf)? == ReadOutcome::Record {
+        while reader.read_record(&mut buf).map_err(|e| match e {
+            Error::Corruption(msg) => Error::corruption(format!("WAL {}: {msg}", path.display())),
+            other => other,
+        })? == ReadOutcome::Record
+        {
             for (seq, t, key, value) in decode_batch_record(&buf)? {
                 let slot = SeparatedValue::Inline(value).encode();
                 mem.add(seq, t, &key, &slot);
@@ -2400,6 +2563,7 @@ fn open_partition(
                 replayed = true;
             }
         }
+        UniKvStats::add(&stats.wal_dropped_bytes, reader.dropped_bytes());
     }
 
     let mut meta = pmeta.clone();

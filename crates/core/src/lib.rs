@@ -45,11 +45,14 @@ pub mod options;
 pub mod partition;
 pub mod resolver;
 pub mod router;
+pub mod verify;
 
 pub use batch::WriteBatch;
 pub use db::{UniKv, UniKvStats};
 pub use fetch::FetchPool;
 pub use iter::UniKvIterator;
+pub use maintenance::{SyncPointHook, SyncPoints, SYNC_POINTS};
 pub use options::UniKvOptions;
 pub use router::{SizeRouter, SizeRouterOptions};
 pub use unikv_lsm::db::ScanItem;
+pub use verify::{verify_db, FileDamage, VerifyReport};

@@ -30,12 +30,83 @@
 use crate::db::DbInner;
 use crate::options::UniKvOptions;
 use crate::UniKvStats;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use unikv_common::Error;
+use unikv_common::{Error, Result};
+
+/// Every named sync point in the flush/merge/GC/split commit sequences,
+/// in rough execution order. Each structural operation calls
+/// [`SyncPoints::hit`] between its commit steps; a hook that returns an
+/// error there aborts the operation exactly as an I/O failure at that
+/// step would, so a crash test can stop the world between any two steps
+/// and exercise recovery. `*:begin` fires before any file is written,
+/// `*:build` after new files are written and synced but before the
+/// in-memory tier swap, `*:commit` immediately before the atomic META
+/// commit, and `*:cleanup` after the commit but before obsolete files are
+/// deleted. The same names fire in inline and background modes.
+pub const SYNC_POINTS: &[&str] = &[
+    "seal:begin",
+    "seal:commit",
+    "flush:build",
+    "flush:install",
+    "flush:commit",
+    "flush:cleanup",
+    "merge:begin",
+    "merge:build",
+    "merge:commit",
+    "merge:cleanup",
+    "scanmerge:begin",
+    "scanmerge:build",
+    "scanmerge:commit",
+    "scanmerge:cleanup",
+    "gc:begin",
+    "gc:build",
+    "gc:commit",
+    "gc:cleanup",
+    "split:begin",
+    "split:build",
+    "split:commit",
+    "split:cleanup",
+];
+
+/// A test hook invoked at every named sync point; returning an error
+/// aborts the surrounding structural operation at that step.
+pub type SyncPointHook = Arc<dyn Fn(&str) -> Result<()> + Send + Sync>;
+
+/// Registry of named sync points (see [`SYNC_POINTS`]). One per database;
+/// no hook armed (the default) makes every hit a no-op.
+#[derive(Default)]
+pub struct SyncPoints {
+    hook: RwLock<Option<SyncPointHook>>,
+}
+
+impl SyncPoints {
+    /// Install `hook`, replacing any previous one.
+    pub fn arm(&self, hook: SyncPointHook) {
+        *self.hook.write() = Some(hook);
+    }
+
+    /// Remove the hook; subsequent hits are no-ops.
+    pub fn disarm(&self) {
+        *self.hook.write() = None;
+    }
+
+    /// Invoke the hook (if armed) for the sync point `name`.
+    pub(crate) fn hit(&self, name: &str) -> Result<()> {
+        debug_assert!(
+            SYNC_POINTS.contains(&name),
+            "unregistered sync point {name}"
+        );
+        let guard = self.hook.read();
+        match guard.as_ref() {
+            Some(hook) => hook(name),
+            None => Ok(()),
+        }
+    }
+}
 
 /// The kind of structural operation a background job performs.
 ///
@@ -455,6 +526,33 @@ mod tests {
         // First error wins.
         m.poison("second".to_string());
         assert!(m.poison_message().unwrap().contains("disk exploded"));
+    }
+
+    #[test]
+    fn sync_points_invoke_hook_and_disarm() {
+        let sp = SyncPoints::default();
+        assert!(sp.hit("flush:commit").is_ok(), "unarmed hits are no-ops");
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        let fired2 = fired.clone();
+        sp.arm(Arc::new(move |name: &str| {
+            fired2.lock().push(name.to_string());
+            if name == "gc:commit" {
+                Err(Error::internal("crash here"))
+            } else {
+                Ok(())
+            }
+        }));
+        assert!(sp.hit("flush:commit").is_ok());
+        assert!(sp.hit("gc:commit").is_err());
+        assert_eq!(*fired.lock(), vec!["flush:commit", "gc:commit"]);
+        sp.disarm();
+        assert!(sp.hit("gc:commit").is_ok());
+    }
+
+    #[test]
+    fn sync_point_names_are_unique() {
+        let set: HashSet<&str> = SYNC_POINTS.iter().copied().collect();
+        assert_eq!(set.len(), SYNC_POINTS.len());
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub struct UniKvOptions {
     pub block_cache_bytes: usize,
     /// fsync the WAL on every write.
     pub sync_writes: bool,
+    /// Verify the database aggressively: at open, every META-committed
+    /// table must exist at its recorded size with a readable footer and
+    /// index, every owned/inherited value log must exist, and WAL replay
+    /// fails with `Error::Corruption` on mid-log damage (a torn *tail* is
+    /// still truncated — that is what a crash legitimately leaves behind).
+    /// Block, value, and META checksums are verified on every read
+    /// regardless of this flag; corruption found anywhere is surfaced as
+    /// a typed `Error::Corruption`, never served.
+    pub paranoid_checks: bool,
 
     // ---- Background maintenance & backpressure ----
     /// Worker threads for background flush/merge/GC/split. `0` (the
@@ -95,6 +104,7 @@ impl Default for UniKvOptions {
             value_fetch_threads: 32,
             block_cache_bytes: 8 << 20,
             sync_writes: false,
+            paranoid_checks: false,
             background_jobs: 0,
             slowdown_sealed_memtables: 2,
             stop_sealed_memtables: 4,

@@ -7,7 +7,9 @@ use crate::resolver::partition_dir;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use unikv_common::coding::{get_varint64, put_varint64};
 use unikv_common::ikey::{compare_internal_keys, extract_user_key};
+use unikv_common::Result;
 use unikv_hashindex::TwoLevelHashIndex;
 use unikv_memtable::MemTable;
 use unikv_sstable::{BlockCache, Table, TableOptions};
@@ -16,6 +18,39 @@ use unikv_wal::LogWriter;
 
 /// Name of the hash-index checkpoint file within a partition directory.
 pub const INDEX_CKPT: &str = "INDEX.ckpt";
+
+/// Encode a *self-describing* hash-index checkpoint: the numbers of the
+/// unsorted tables the snapshot covers travel inside the file, followed
+/// by the index snapshot itself (which carries its own CRC).
+///
+/// The covered list must live in this file, not in `META`: the two are
+/// written at different instants, so a crash between them would otherwise
+/// pair a checkpoint with the other side's table list — recovery would
+/// then skip re-indexing tables the checkpoint never contained, silently
+/// losing keys from the hash index.
+pub(crate) fn encode_index_ckpt(tables: &[u64], index: &TwoLevelHashIndex) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint64(&mut out, tables.len() as u64);
+    for t in tables {
+        put_varint64(&mut out, *t);
+    }
+    out.extend_from_slice(&index.checkpoint());
+    out
+}
+
+/// Decode a checkpoint written by [`encode_index_ckpt`]. Any framing or
+/// CRC problem is an error; callers fall back to rebuilding the index
+/// from the tables themselves.
+pub(crate) fn decode_index_ckpt(data: &[u8]) -> Result<(Vec<u64>, TwoLevelHashIndex)> {
+    let (count, mut pos) = get_varint64(data)?;
+    let mut tables = Vec::with_capacity(count.min(4096) as usize);
+    for _ in 0..count {
+        let (t, n) = get_varint64(&data[pos..])?;
+        pos += n;
+        tables.push(t);
+    }
+    Ok((tables, TwoLevelHashIndex::restore(&data[pos..])?))
+}
 
 /// A sealed (immutable) memtable handed off to background maintenance,
 /// together with the WAL file that protects it until its flush commits.

@@ -152,6 +152,93 @@ mod tests {
         assert!(r.dropped_bytes() > 0);
     }
 
+    /// Write `records`, then mutate the raw log bytes with `f`.
+    fn damaged_log(env: &MemEnv, records: &[&[u8]], f: impl FnOnce(&mut Vec<u8>)) {
+        let path = Path::new("/log");
+        let mut w = LogWriter::new(env.new_writable(path).unwrap());
+        for r in records {
+            w.add_record(r).unwrap();
+        }
+        drop(w);
+        let mut data = env.read_to_vec(path).unwrap();
+        f(&mut data);
+        let mut tw = env.new_writable(path).unwrap();
+        tw.append(&data).unwrap();
+        drop(tw);
+    }
+
+    fn replay_strict(env: &MemEnv) -> Result<Vec<Vec<u8>>, unikv_common::Error> {
+        let mut r = LogReader::new_strict(env.new_sequential(Path::new("/log")).unwrap());
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        while r.read_record(&mut buf)? == ReadOutcome::Record {
+            out.push(buf.clone());
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn strict_torn_final_record_is_truncated() {
+        // Regression: a torn FINAL record is the normal signature of a
+        // crash mid-append and must replay as a clean prefix, not an error.
+        let env = MemEnv::new();
+        damaged_log(&env, &[b"one", b"two", &[9u8; 120]], |data| {
+            let n = data.len();
+            data.truncate(n - 60);
+        });
+        assert_eq!(
+            replay_strict(&env).unwrap(),
+            vec![b"one".to_vec(), b"two".to_vec()]
+        );
+    }
+
+    #[test]
+    fn strict_corrupt_final_record_is_truncated() {
+        // A bit flip inside the last record is indistinguishable from a
+        // torn tail: strict replay still yields the prefix.
+        let env = MemEnv::new();
+        damaged_log(&env, &[b"one", b"two"], |data| {
+            let n = data.len();
+            data[n - 1] ^= 0x01;
+        });
+        assert_eq!(replay_strict(&env).unwrap(), vec![b"one".to_vec()]);
+    }
+
+    #[test]
+    fn strict_torn_middle_record_is_corruption() {
+        // Regression: damage with intact records AFTER it cannot be a torn
+        // tail. Strict replay must fail instead of dropping acked records.
+        let env = MemEnv::new();
+        damaged_log(&env, &[b"first", &[7u8; 64], b"third"], |data| {
+            data[HEADER_SIZE + 5 + HEADER_SIZE + 10] ^= 0x01; // payload of record 2
+        });
+        let err = replay_strict(&env).unwrap_err();
+        assert!(err.is_corruption(), "expected corruption, got {err:?}");
+
+        // The lenient reader keeps the historical truncate-at-damage
+        // behavior for the same bytes.
+        let mut r = LogReader::new(env.new_sequential(Path::new("/log")).unwrap());
+        let mut buf = Vec::new();
+        assert_eq!(r.read_record(&mut buf).unwrap(), ReadOutcome::Record);
+        assert_eq!(buf, b"first");
+        assert_eq!(r.read_record(&mut buf).unwrap(), ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn strict_zeroed_middle_region_is_corruption() {
+        // A zeroed-out header mid-log normally reads as "preallocated
+        // tail"; with intact records after it, strict replay refuses.
+        let env = MemEnv::new();
+        damaged_log(&env, &[b"first", b"second", b"third"], |data| {
+            let start = HEADER_SIZE + 5; // record 2's header
+            for b in &mut data[start..start + HEADER_SIZE] {
+                *b = 0;
+            }
+        });
+        let err = replay_strict(&env).unwrap_err();
+        assert!(err.is_corruption(), "expected corruption, got {err:?}");
+    }
+
     #[test]
     fn many_records_roundtrip() {
         let records: Vec<Vec<u8>> = (0..1000u32)
@@ -239,6 +326,46 @@ mod proptests {
             prop_assert!(replayed.len() <= records.len());
             for (got, expect) in replayed.iter().zip(&records) {
                 prop_assert_eq!(got, expect);
+            }
+        }
+
+        /// Strict replay must never mistake a genuine crash truncation for
+        /// mid-log corruption: for ANY cut point it succeeds and yields a
+        /// clean prefix, exactly like the lenient reader.
+        #[test]
+        fn prop_strict_truncation_never_errors(
+            records in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..300), 1..30),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let env = MemEnv::new();
+            let path = Path::new("/log");
+            {
+                let mut w = LogWriter::new(env.new_writable(path).unwrap());
+                for r in &records {
+                    w.add_record(r).unwrap();
+                }
+            }
+            let full = env.read_to_vec(path).unwrap();
+            let cut = (full.len() as f64 * cut_frac) as usize;
+            let mut w = env.new_writable(path).unwrap();
+            w.append(&full[..cut]).unwrap();
+            drop(w);
+
+            let mut reader = LogReader::new_strict(env.new_sequential(path).unwrap());
+            let mut buf = Vec::new();
+            let mut replayed = Vec::new();
+            loop {
+                let outcome = reader.read_record(&mut buf);
+                prop_assert!(outcome.is_ok(), "strict replay errored on truncation: {:?}", outcome);
+                if outcome.unwrap() != ReadOutcome::Record {
+                    break;
+                }
+                replayed.push(buf.clone());
+            }
+            prop_assert!(replayed.len() <= records.len());
+            for (got, expect) in replayed.iter().zip(&records) {
+                prop_assert_eq!(got, expect, "strict replayed record differs");
             }
         }
     }

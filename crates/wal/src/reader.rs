@@ -4,9 +4,15 @@
 //! or truncated fragment ends the replay (the bytes are counted in
 //! [`LogReader::dropped_bytes`]) rather than failing it, because a crash
 //! mid-append legitimately leaves a torn final record.
+//!
+//! [`LogReader::new_strict`] additionally distinguishes the two ways a log
+//! can be damaged: a torn *final* record (nothing intact after the damage)
+//! is still truncated silently, but damage *followed by* an intact record
+//! cannot have been produced by a crash mid-append and is reported as
+//! [`Error::Corruption`] instead of silently dropping the log suffix.
 
 use crate::{RecordType, BLOCK_SIZE, HEADER_SIZE};
-use unikv_common::{crc32c, Result};
+use unikv_common::{crc32c, Error, Result};
 use unikv_env::SequentialFile;
 
 /// Result of [`LogReader::read_record`].
@@ -29,18 +35,33 @@ pub struct LogReader {
     /// True once the underlying file hit EOF.
     at_eof: bool,
     dropped: u64,
+    /// Report mid-log damage as `Error::Corruption` instead of EOF.
+    strict: bool,
 }
 
 enum Fragment {
     Data(RecordType, std::ops::Range<usize>),
     BlockEnd,
     Eof,
+    /// An all-zero header where record data was expected.
+    ZeroHeader,
     Corrupt(usize),
 }
 
 impl LogReader {
     /// Wrap a sequential file positioned at the start of the log.
     pub fn new(file: Box<dyn SequentialFile>) -> Self {
+        Self::with_mode(file, false)
+    }
+
+    /// Like [`new`](Self::new), but a damaged record that is *followed by*
+    /// an intact record fails replay with [`Error::Corruption`]. A torn
+    /// tail (damage extending to end of file) is still truncated.
+    pub fn new_strict(file: Box<dyn SequentialFile>) -> Self {
+        Self::with_mode(file, true)
+    }
+
+    fn with_mode(file: Box<dyn SequentialFile>, strict: bool) -> Self {
         LogReader {
             file,
             block: vec![0; BLOCK_SIZE],
@@ -48,6 +69,7 @@ impl LogReader {
             pos: 0,
             at_eof: false,
             dropped: 0,
+            strict,
         }
     }
 
@@ -98,9 +120,26 @@ impl LogReader {
                 },
                 Fragment::BlockEnd => continue,
                 Fragment::Corrupt(len) => {
-                    // Treat as end of usable log.
                     self.dropped += (len + out.len()) as u64;
                     out.clear();
+                    if self.strict && self.intact_record_follows()? {
+                        return Err(Error::corruption(
+                            "log record damaged in the middle of the log (intact records follow)",
+                        ));
+                    }
+                    // Torn tail: treat as end of usable log.
+                    return Ok(ReadOutcome::Eof);
+                }
+                Fragment::ZeroHeader => {
+                    if self.strict && self.intact_record_follows()? {
+                        return Err(Error::corruption(
+                            "zeroed log region in the middle of the log (intact records follow)",
+                        ));
+                    }
+                    if in_fragmented_record {
+                        self.dropped += out.len() as u64;
+                        out.clear();
+                    }
                     return Ok(ReadOutcome::Eof);
                 }
                 Fragment::Eof => {
@@ -157,8 +196,9 @@ impl LogReader {
         let type_byte = header[6];
 
         if type_byte == 0 && length == 0 && stored_crc == 0 {
-            // An all-zero header: preallocated/zeroed tail. End of usable log.
-            return Ok(Fragment::Eof);
+            // An all-zero header: preallocated/zeroed tail. End of usable
+            // log unless strict replay finds intact records after it.
+            return Ok(Fragment::ZeroHeader);
         }
 
         let Some(t) = RecordType::from_u8(type_byte) else {
@@ -175,5 +215,44 @@ impl LogReader {
         }
         self.pos = payload_start + length;
         Ok(Fragment::Data(t, payload_start..payload_start + length))
+    }
+
+    /// After a damaged fragment at `self.pos`, scan the rest of the file
+    /// for any intact fragment (valid type, in-bounds length, matching
+    /// CRC) at *any* byte offset. Damage with intact data after it cannot
+    /// be a torn tail from a crash mid-append. Consumes the reader.
+    fn intact_record_follows(&mut self) -> Result<bool> {
+        let mut from = self.pos + 1;
+        loop {
+            if self.block_len >= HEADER_SIZE {
+                for cand in from..=(self.block_len - HEADER_SIZE) {
+                    let header = &self.block[cand..cand + HEADER_SIZE];
+                    let stored_crc = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+                    let length = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+                    let type_byte = header[6];
+                    if RecordType::from_u8(type_byte).is_none() {
+                        continue;
+                    }
+                    let payload_start = cand + HEADER_SIZE;
+                    let payload_end = payload_start + length as usize;
+                    if payload_end > self.block_len {
+                        continue;
+                    }
+                    let payload = &self.block[payload_start..payload_end];
+                    let actual = crc32c::extend(crc32c::value(&[type_byte]), payload);
+                    if crc32c::unmask(stored_crc) == actual {
+                        return Ok(true);
+                    }
+                }
+            }
+            if self.at_eof {
+                return Ok(false);
+            }
+            self.refill()?;
+            if self.block_len == 0 {
+                return Ok(false);
+            }
+            from = 0;
+        }
     }
 }

@@ -11,15 +11,16 @@
 //! cargo run --release --example dbtool -- <dir> compact
 //! cargo run --release --example dbtool -- <dir> gc
 //! cargo run --release --example dbtool -- <dir> fill <n> [value_size]
+//! cargo run --release --example dbtool -- <dir> verify
 //! ```
 
 use std::sync::Arc;
-use unikv::{UniKv, UniKvOptions};
+use unikv::{verify_db, UniKv, UniKvOptions};
 use unikv_env::fs::FsEnv;
 
 fn usage() -> ! {
     eprintln!("usage: dbtool <dir> <put k v | get k | del k | scan from [limit] |");
-    eprintln!("                      stats | compact | gc | fill n [value_size]>");
+    eprintln!("                      stats | compact | gc | fill n [value_size] | verify>");
     std::process::exit(2);
 }
 
@@ -27,6 +28,23 @@ fn main() -> unikv_common::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
         usage();
+    }
+    // `verify` scrubs the closed database offline; it must run *before*
+    // `UniKv::open`, which replays WALs, flushes, and deletes orphans.
+    if args[1] == "verify" {
+        let report = verify_db(Arc::new(FsEnv::new()), &args[0])?;
+        println!(
+            "checked {} files, {} damaged",
+            report.files_checked,
+            report.damage.len()
+        );
+        for d in &report.damage {
+            println!("DAMAGED [{}] {}: {}", d.kind, d.path.display(), d.detail);
+        }
+        if !report.is_clean() {
+            std::process::exit(1);
+        }
+        return Ok(());
     }
     let db = UniKv::open(Arc::new(FsEnv::new()), &args[0], UniKvOptions::default())?;
     match (args[1].as_str(), &args[2..]) {

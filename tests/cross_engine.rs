@@ -4,8 +4,12 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 use unikv::{UniKv, UniKvOptions};
+use unikv_env::fault::{FaultAction, FaultInjectionEnv, FaultOp, FaultPlan, FaultRule};
 use unikv_env::mem::MemEnv;
+use unikv_env::Env;
+use unikv_hashstore::{HashStore, HashStoreOptions};
 use unikv_lsm::{Baseline, LsmDb, LsmOptions};
 
 fn small_lsm(b: Baseline) -> LsmOptions {
@@ -151,4 +155,126 @@ fn engines_agree_after_reopen() {
         assert_eq!(uni.get(k.as_bytes()).unwrap(), expect, "unikv key {i}");
         assert_eq!(lsm.get(k.as_bytes()).unwrap(), expect, "lsm key {i}");
     }
+}
+
+/// Differential crash-recovery: UniKV, an LSM baseline, and the hash
+/// store each run on their own fault-injection env under an *identical*
+/// fault plan (fail a sync partway through), all writes synced, one
+/// shared put/overwrite-only op stream (the hash store has no deletes).
+/// The workload stops at the first injected failure anywhere, every env
+/// crashes at that same op index, and after recovery all three engines
+/// must agree with the model on every acked key — no engine may lose an
+/// acked write or invent one the others don't have.
+#[test]
+fn engines_agree_on_surviving_keys_after_identical_crash() {
+    let plan = || {
+        FaultPlan::new(0x0DDC0DE).rule(FaultRule::new(FaultOp::Sync, FaultAction::Fail).after(400))
+    };
+    let uni_fault = FaultInjectionEnv::new(MemEnv::shared());
+    let lsm_fault = FaultInjectionEnv::new(MemEnv::shared());
+    let hs_fault = FaultInjectionEnv::new(MemEnv::shared());
+    uni_fault.set_plan(plan());
+    lsm_fault.set_plan(plan());
+    hs_fault.set_plan(plan());
+
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut in_flight: Option<Vec<u8>> = None;
+    {
+        let uni = UniKv::open(
+            uni_fault.clone() as Arc<dyn Env>,
+            "/u",
+            UniKvOptions {
+                sync_writes: true,
+                ..UniKvOptions::small_for_tests()
+            },
+        )
+        .unwrap();
+        let mut lsm_opts = small_lsm(Baseline::LevelDb);
+        lsm_opts.sync_writes = true;
+        let lsm =
+            LsmDb::open(lsm_fault.clone() as Arc<dyn Env>, Path::new("/l"), lsm_opts).unwrap();
+        let hs = HashStore::create(
+            hs_fault.clone() as Arc<dyn Env>,
+            "/h",
+            HashStoreOptions {
+                num_buckets: 64,
+                sync_writes: true,
+            },
+        )
+        .unwrap();
+
+        let mut rng: u64 = 0xfeed_f00d;
+        'ops: for step in 0..1500u64 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = format!("key{:05}", (rng >> 33) % 300).into_bytes();
+            let v = format!("s{step}-")
+                .into_bytes()
+                .repeat(2 + (step % 7) as usize);
+            // All engines see the op before any ack counts: the first
+            // injected failure anywhere freezes the shared op stream.
+            for outcome in [uni.put(&k, &v), lsm.put(&k, &v), hs.put(&k, &v)] {
+                if outcome.is_err() {
+                    in_flight = Some(k.clone());
+                    break 'ops;
+                }
+            }
+            model.insert(k, v);
+        }
+    }
+    assert!(
+        in_flight.is_some(),
+        "the fault plan never fired; the differential run tested nothing"
+    );
+
+    uni_fault.clear_plan();
+    lsm_fault.clear_plan();
+    hs_fault.clear_plan();
+    uni_fault.crash().unwrap();
+    lsm_fault.crash().unwrap();
+    hs_fault.crash().unwrap();
+
+    let uni = UniKv::open(
+        uni_fault as Arc<dyn Env>,
+        "/u",
+        UniKvOptions {
+            sync_writes: true,
+            paranoid_checks: true,
+            ..UniKvOptions::small_for_tests()
+        },
+    )
+    .unwrap();
+    let lsm = LsmDb::open(
+        lsm_fault as Arc<dyn Env>,
+        Path::new("/l"),
+        small_lsm(Baseline::LevelDb),
+    )
+    .unwrap();
+    let hs = HashStore::open(
+        hs_fault as Arc<dyn Env>,
+        "/h",
+        HashStoreOptions {
+            num_buckets: 64,
+            sync_writes: true,
+        },
+    )
+    .unwrap();
+
+    for (k, v) in &model {
+        // The op cut short by the fault was never acked by every engine:
+        // its key may legitimately differ. Everything else must agree.
+        if in_flight.as_deref() == Some(k.as_slice()) {
+            continue;
+        }
+        let expect = Some(v.clone());
+        let key = String::from_utf8_lossy(k);
+        assert_eq!(uni.get(k).unwrap(), expect, "unikv lost acked key {key}");
+        assert_eq!(lsm.get(k).unwrap(), expect, "lsm lost acked key {key}");
+        assert_eq!(hs.get(k).unwrap(), expect, "hashstore lost acked key {key}");
+    }
+    let never = b"key-never-written".to_vec();
+    assert_eq!(uni.get(&never).unwrap(), None);
+    assert_eq!(lsm.get(&never).unwrap(), None);
+    assert_eq!(hs.get(&never).unwrap(), None);
 }
