@@ -23,6 +23,11 @@ pub enum Error {
     Io(std::io::Error),
     /// Internal invariant violated (e.g. manifest references a missing file).
     Internal(String),
+    /// The database currently rejects writes (degraded health, e.g. disk
+    /// full or a quarantined flush with sealed memtables backed up) but
+    /// keeps serving reads and scans. The condition clears on its own when
+    /// background maintenance recovers, so callers may retry later.
+    ReadOnly(String),
 }
 
 impl Error {
@@ -41,6 +46,11 @@ impl Error {
         Error::Internal(msg.into())
     }
 
+    /// Convenience constructor for read-only rejections.
+    pub fn read_only(msg: impl Into<String>) -> Self {
+        Error::ReadOnly(msg.into())
+    }
+
     /// True if this error is [`Error::NotFound`].
     pub fn is_not_found(&self) -> bool {
         matches!(self, Error::NotFound)
@@ -49,6 +59,56 @@ impl Error {
     /// True if this error is [`Error::Corruption`].
     pub fn is_corruption(&self) -> bool {
         matches!(self, Error::Corruption(_))
+    }
+
+    /// True if this error is [`Error::ReadOnly`].
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Error::ReadOnly(_))
+    }
+
+    /// Transience taxonomy: `true` means the condition that produced this
+    /// error can clear on its own, so retrying the *same* operation later
+    /// is reasonable (ENOSPC after space frees, EAGAIN/EINTR, timeouts,
+    /// contended resources, and read-only degradation that heals).
+    /// Corruption, invalid arguments, internal invariant violations, and
+    /// not-found are permanent: retrying cannot change the outcome.
+    ///
+    /// The maintenance scheduler keys its retry/quarantine policy off
+    /// this classification, and the fault-injection env tags injected
+    /// errors with an `io::ErrorKind` specifically so tests can script
+    /// transient storms (see `FaultRule::fail_times`).
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        match self {
+            Error::Io(e) => matches!(
+                e.kind(),
+                ErrorKind::StorageFull          // ENOSPC
+                    | ErrorKind::QuotaExceeded  // EDQUOT
+                    | ErrorKind::WouldBlock     // EAGAIN
+                    | ErrorKind::Interrupted    // EINTR
+                    | ErrorKind::TimedOut
+                    | ErrorKind::ResourceBusy
+            ),
+            Error::ReadOnly(_) => true,
+            Error::NotFound
+            | Error::Corruption(_)
+            | Error::InvalidArgument(_)
+            | Error::Internal(_) => false,
+        }
+    }
+
+    /// True for I/O errors that signal the device is out of space
+    /// (ENOSPC/EDQUOT). The health watchdog treats these specially: the
+    /// database goes read-only while retrying instead of letting further
+    /// ingest make the shortage worse.
+    pub fn is_storage_full(&self) -> bool {
+        matches!(
+            self,
+            Error::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::StorageFull | std::io::ErrorKind::QuotaExceeded
+            )
+        )
     }
 }
 
@@ -60,6 +120,7 @@ impl fmt::Display for Error {
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
+            Error::ReadOnly(msg) => write!(f, "database is read-only: {msg}"),
         }
     }
 }
@@ -109,5 +170,61 @@ mod tests {
         let e: Error = std::io::Error::other("disk on fire").into();
         assert!(matches!(e, Error::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn read_only_display_and_predicate() {
+        let e = Error::read_only("flush backlog");
+        assert_eq!(e.to_string(), "database is read-only: flush backlog");
+        assert!(e.is_read_only());
+        assert!(!Error::NotFound.is_read_only());
+    }
+
+    /// The full classification table: every variant, plus representative
+    /// `io::ErrorKind`s on both sides of the transient line.
+    #[test]
+    fn transience_classification_table() {
+        use std::io::ErrorKind;
+        let io = |kind: ErrorKind| Error::Io(std::io::Error::new(kind, "injected"));
+
+        // Transient: conditions that clear on their own.
+        for e in [
+            io(ErrorKind::StorageFull), // ENOSPC — disk can free up
+            io(ErrorKind::QuotaExceeded),
+            io(ErrorKind::WouldBlock),  // EAGAIN
+            io(ErrorKind::Interrupted), // EINTR
+            io(ErrorKind::TimedOut),
+            io(ErrorKind::ResourceBusy),
+            Error::read_only("temporarily degraded"),
+        ] {
+            assert!(e.is_transient(), "expected transient: {e}");
+        }
+
+        // Permanent: retrying cannot change the outcome.
+        for e in [
+            io(ErrorKind::NotFound),
+            io(ErrorKind::PermissionDenied),
+            io(ErrorKind::InvalidData),
+            io(ErrorKind::UnexpectedEof),
+            io(ErrorKind::Other),
+            Error::Io(std::io::Error::other("free-form io error")),
+            Error::NotFound,
+            Error::corruption("bad crc"),
+            Error::invalid_argument("bad option"),
+            Error::internal("invariant violated"),
+        ] {
+            assert!(!e.is_transient(), "expected permanent: {e}");
+        }
+    }
+
+    #[test]
+    fn storage_full_watchdog_predicate() {
+        use std::io::ErrorKind;
+        let full = Error::Io(std::io::Error::new(ErrorKind::StorageFull, "enospc"));
+        assert!(full.is_storage_full());
+        assert!(full.is_transient());
+        let eintr = Error::Io(std::io::Error::new(ErrorKind::Interrupted, "eintr"));
+        assert!(!eintr.is_storage_full());
+        assert!(!Error::internal("x").is_storage_full());
     }
 }

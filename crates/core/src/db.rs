@@ -24,7 +24,8 @@
 use crate::batch::{decode_batch_record, encode_batch_record, WriteBatch};
 use crate::fetch::FetchPool;
 use crate::maintenance::{
-    stall_level, worker_loop, Job, JobKind, MaintState, StallLevel, SyncPoints,
+    stall_level, worker_loop, HealthReport, HealthState, Job, JobKind, MaintClock, MaintState,
+    RetryConfig, StallLevel, SyncPoints,
 };
 use crate::meta::{DbMeta, LogRef, PartitionMeta, TableMeta};
 use crate::options::UniKvOptions;
@@ -55,6 +56,19 @@ use unikv_memtable::{LookupResult, MemTable};
 use unikv_sstable::{BlockCache, Table, TableBuilder, TableBuilderOptions, TableOptions};
 use unikv_vlog::{parse_vlog_file_name, vlog_file_name, ValueLog};
 use unikv_wal::{LogReader, LogWriter, ReadOutcome};
+
+thread_local! {
+    /// Set when `commit_meta` fails on the current thread. The worker
+    /// loop reads it to tell commit-step failures — the only permanent
+    /// failures that poison the database — apart from failures in the
+    /// preparatory build steps, which quarantine instead.
+    static COMMIT_FAILED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Take (and clear) the current thread's commit-failure marker.
+pub(crate) fn take_commit_failure() -> bool {
+    COMMIT_FAILED.with(|c| c.replace(false))
+}
 
 /// Engine-level counters (per-database).
 #[derive(Debug, Default)]
@@ -97,8 +111,21 @@ pub struct UniKvStats {
     pub maint_jobs_scheduled: AtomicU64,
     /// Background maintenance jobs completed successfully.
     pub maint_jobs_completed: AtomicU64,
-    /// Background maintenance jobs that failed (poisoning the database).
+    /// Background maintenance jobs that failed *fatally* (poisoning the
+    /// database): a permanent META-commit failure or a worker panic.
+    /// Transient failures retry (`maint_job_retries`) or quarantine
+    /// (`maint_jobs_quarantined`) without touching this counter.
     pub maint_jobs_failed: AtomicU64,
+    /// Transient job failures re-queued with backoff.
+    pub maint_job_retries: AtomicU64,
+    /// Jobs quarantined after exhausting their retry budget or failing
+    /// permanently (counted once per quarantine entry).
+    pub maint_jobs_quarantined: AtomicU64,
+    /// Health state transitions (Healthy↔Degraded↔ReadOnly→Poisoned).
+    pub health_transitions: AtomicU64,
+    /// Total milliseconds spent in any non-Healthy state (accrued when
+    /// the database transitions back to Healthy).
+    pub time_degraded_ms: AtomicU64,
     /// Most recently observed maintenance queue depth.
     pub maint_queue_depth: AtomicU64,
     /// Checksum/structure failures detected (and surfaced as
@@ -152,6 +179,10 @@ impl UniKvStats {
             ("maint_jobs_scheduled", l(&self.maint_jobs_scheduled)),
             ("maint_jobs_completed", l(&self.maint_jobs_completed)),
             ("maint_jobs_failed", l(&self.maint_jobs_failed)),
+            ("maint_job_retries", l(&self.maint_job_retries)),
+            ("maint_jobs_quarantined", l(&self.maint_jobs_quarantined)),
+            ("health_transitions", l(&self.health_transitions)),
+            ("time_degraded_ms", l(&self.time_degraded_ms)),
             ("maint_queue_depth", l(&self.maint_queue_depth)),
             ("corruptions_detected", l(&self.corruptions_detected)),
             ("read_io_errors", l(&self.read_io_errors)),
@@ -299,11 +330,11 @@ impl DbInner {
             fetch_pool: FetchPool::new(opts.value_fetch_threads),
             env,
             root,
+            maint: MaintState::new(RetryConfig::from_options(&opts), stats.clone()),
             opts,
             topts,
             core: RwLock::new(core),
             stats,
-            maint: MaintState::new(),
             sync: SyncPoints::default(),
         };
 
@@ -563,17 +594,21 @@ impl DbInner {
         let mut stopped = false;
         let start = Instant::now();
         let result = loop {
-            if let Some(err) = self.maint.poisoned_error() {
+            // Poisoned or ReadOnly health rejects the write with a typed
+            // error (reads and scans are unaffected).
+            if let Some(err) = self.maint.write_gate_error() {
                 break Err(err);
             }
+            let health = self.maint.health_state();
             let (level, pid, imms, unsorted) = {
                 let core = self.core.read();
                 let eval = |p: &Partition| {
+                    let (imms, unsorted) = p.stall_debt();
                     (
-                        stall_level(p.imms.len(), p.meta.unsorted.len(), &self.opts),
+                        stall_level(imms, unsorted, health, &self.opts),
                         p.meta.id,
-                        p.imms.len(),
-                        p.meta.unsorted.len(),
+                        imms,
+                        unsorted,
                     )
                 };
                 match key {
@@ -612,6 +647,15 @@ impl DbInner {
                     }
                     if unsorted >= self.opts.slowdown_unsorted_tables {
                         self.schedule(JobKind::Merge, pid);
+                    }
+                    // Fail fast when the debt cannot drain: a hard-stopped
+                    // writer whose partition's flush is quarantined or
+                    // waiting out a retry backoff would otherwise block
+                    // for the whole backoff schedule. Raise ReadOnly (the
+                    // next job completion settles it back) and reject.
+                    if imms > 0 && self.maint.flush_blocked(pid) {
+                        self.maint.raise_health(HealthState::ReadOnly);
+                        continue; // next iteration returns the typed error
                     }
                     self.maint.wait_for_progress(Duration::from_millis(10));
                 }
@@ -920,8 +964,13 @@ impl DbInner {
     // ---------------------------------------------------------------
 
     fn commit_meta(&self, core: &DbCore) -> Result<()> {
-        self.env
-            .write_atomic(&self.root.join("META"), &core.to_meta().encode())
+        let r = self
+            .env
+            .write_atomic(&self.root.join("META"), &core.to_meta().encode());
+        if r.is_err() {
+            COMMIT_FAILED.with(|c| c.set(true));
+        }
+        r
     }
 
     /// Run post-flush triggers on partition `pidx`: size-based merge, full
@@ -2335,13 +2384,48 @@ impl UniKv {
     pub fn background_error(&self) -> Option<String> {
         self.inner.maint.poison_message()
     }
+
+    /// Current health state (see [`HealthState`] for the transitions).
+    /// Lock-free; always `Healthy` in inline mode.
+    pub fn health(&self) -> HealthState {
+        self.inner.maint.health_state()
+    }
+
+    /// Detailed health snapshot: state, jobs retrying, quarantined jobs
+    /// with their reasons, and the poison message if any.
+    pub fn health_report(&self) -> HealthReport {
+        self.inner.maint.health_report()
+    }
+
+    /// Replace the maintenance scheduler's clock (milliseconds, arbitrary
+    /// monotonic origin), or restore the real clock with `None`. Backoff
+    /// deadlines and quarantine probes are evaluated against it — a test
+    /// or simulation hook so retry schedules elapse without sleeping.
+    pub fn set_maintenance_clock(&self, clock: Option<MaintClock>) {
+        self.inner.maint.set_clock(clock);
+    }
 }
 
 impl Drop for UniKv {
     fn drop(&mut self) {
         self.inner.maint.begin_shutdown();
+        // Workers park in timed waits while jobs sit in backoff, so they
+        // notice shutdown within one tick — but a worker wedged inside a
+        // job (e.g. an env stuck in a syscall) must not hang the drop
+        // forever. Join with a deadline and detach stragglers; a detached
+        // worker exits on its own when its current job ends.
+        let deadline =
+            Instant::now() + Duration::from_millis(self.inner.opts.shutdown_join_timeout_ms);
         for handle in self.workers.drain(..) {
-            let _ = handle.join();
+            while !handle.is_finished() && Instant::now() < deadline {
+                // Re-notify: a worker that raced into a wait just before
+                // the shutdown flag was set could otherwise miss a wakeup.
+                self.inner.maint.begin_shutdown();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
         }
     }
 }

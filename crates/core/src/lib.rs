@@ -51,7 +51,10 @@ pub use batch::WriteBatch;
 pub use db::{UniKv, UniKvStats};
 pub use fetch::FetchPool;
 pub use iter::UniKvIterator;
-pub use maintenance::{SyncPointHook, SyncPoints, SYNC_POINTS};
+pub use maintenance::{
+    backoff_delay_ms, HealthReport, HealthState, Job, JobKind, MaintClock, QuarantinedJob,
+    SyncPointHook, SyncPoints, SYNC_POINTS,
+};
 pub use options::UniKvOptions;
 pub use router::{SizeRouter, SizeRouterOptions};
 pub use unikv_lsm::db::ScanItem;

@@ -71,6 +71,26 @@ pub struct UniKvOptions {
     /// Duration of one slowdown pause, in microseconds.
     pub stall_sleep_micros: u64,
 
+    // ---- Graceful degradation (retry/backoff/quarantine) ----
+    /// Base backoff before the first retry of a transiently-failed
+    /// maintenance job, in milliseconds. Subsequent retries double it
+    /// (with deterministic jitter) up to `maint_retry_max_ms`.
+    pub maint_retry_base_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub maint_retry_max_ms: u64,
+    /// Transient failures tolerated per job before it is quarantined.
+    pub maint_retry_budget: u32,
+    /// Interval between probes of a quarantined job, in milliseconds
+    /// (each probe re-runs the job once in case the condition cleared).
+    pub maint_quarantine_probe_ms: u64,
+    /// Seed for the deterministic backoff jitter; pin it to reproduce an
+    /// exact retry schedule.
+    pub maint_retry_jitter_seed: u64,
+    /// Upper bound on waiting for worker threads to exit when the
+    /// database handle drops, in milliseconds. Workers past the deadline
+    /// are detached (they exit on their own once their current job ends).
+    pub shutdown_join_timeout_ms: u64,
+
     // ---- Ablation switches (experiments E7–E10) ----
     /// E7: disable the hash index; UnsortedStore lookups scan tables
     /// newest-first instead.
@@ -111,6 +131,12 @@ impl Default for UniKvOptions {
             slowdown_unsorted_tables: 8,
             stop_unsorted_tables: 12,
             stall_sleep_micros: 1000,
+            maint_retry_base_ms: 25,
+            maint_retry_max_ms: 2000,
+            maint_retry_budget: 5,
+            maint_quarantine_probe_ms: 10_000,
+            maint_retry_jitter_seed: 0x5eed_u64,
+            shutdown_join_timeout_ms: 5000,
             enable_hash_index: true,
             enable_kv_separation: true,
             enable_partitioning: true,
@@ -135,6 +161,9 @@ impl UniKvOptions {
             index_checkpoint_interval: 2,
             value_fetch_threads: 4,
             block_cache_bytes: 256 << 10,
+            maint_retry_base_ms: 2,
+            maint_retry_max_ms: 40,
+            maint_quarantine_probe_ms: 100,
             ..Default::default()
         }
     }
@@ -173,6 +202,16 @@ impl UniKvOptions {
         {
             return Err(unikv_common::Error::invalid_argument(
                 "stall thresholds must satisfy stop >= slowdown >= 1",
+            ));
+        }
+        if self.maint_retry_base_ms == 0 || self.maint_retry_max_ms < self.maint_retry_base_ms {
+            return Err(unikv_common::Error::invalid_argument(
+                "maintenance backoff must satisfy max >= base >= 1ms",
+            ));
+        }
+        if self.maint_quarantine_probe_ms == 0 {
+            return Err(unikv_common::Error::invalid_argument(
+                "maint_quarantine_probe_ms must be positive",
             ));
         }
         Ok(())
@@ -215,6 +254,19 @@ mod tests {
             },
             UniKvOptions {
                 slowdown_unsorted_tables: 0,
+                ..Default::default()
+            },
+            UniKvOptions {
+                maint_retry_base_ms: 0,
+                ..Default::default()
+            },
+            UniKvOptions {
+                maint_retry_base_ms: 100,
+                maint_retry_max_ms: 50,
+                ..Default::default()
+            },
+            UniKvOptions {
+                maint_quarantine_probe_ms: 0,
                 ..Default::default()
             },
         ];

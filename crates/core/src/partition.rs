@@ -140,6 +140,13 @@ impl Partition {
         self.unsorted_bytes() + self.sorted_bytes() + self.meta.live_value_bytes
     }
 
+    /// Backpressure inputs for this partition: `(sealed memtables
+    /// awaiting flush, UnsortedStore table count)` — the two debt
+    /// dimensions [`crate::maintenance::stall_level`] brakes against.
+    pub fn stall_debt(&self) -> (usize, usize) {
+        (self.imms.len(), self.meta.unsorted.len())
+    }
+
     /// True if `user_key` belongs to this partition's range.
     pub fn contains(&self, user_key: &[u8]) -> bool {
         self.meta.lo.as_slice() <= user_key

@@ -1,11 +1,13 @@
 //! Concurrency tests for the background maintenance subsystem:
 //! multi-threaded writers/readers/scanners against live background
 //! flush/merge/GC/split, read-your-writes, monotonic sequence numbers,
-//! write-stall accounting, worker-failure poisoning, and clean recovery.
+//! write-stall accounting, worker-failure quarantine with self-healing,
+//! and clean recovery.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use unikv::{UniKv, UniKvOptions};
+use std::time::{Duration, Instant};
+use unikv::{HealthState, UniKv, UniKvOptions};
 use unikv_common::rng::DetRng;
 use unikv_env::fault::FaultInjectionEnv;
 use unikv_env::mem::MemEnv;
@@ -238,15 +240,18 @@ fn writes_proceed_while_merges_run() {
     }
 }
 
-/// A failing background job poisons the database: subsequent writes and
-/// structural operations fail with the background error, reads keep
-/// working, and waiters do not hang.
+/// A background job failing permanently (outside the META commit step)
+/// no longer poisons the database: the job is quarantined, the stuck
+/// flush drives health to ReadOnly — writes fail fast with a typed
+/// `Error::ReadOnly` while reads keep serving — and once the fault
+/// clears, the quarantine probe re-runs the job and the database heals
+/// itself without a reopen.
 #[test]
-fn worker_failure_poisons_database() {
+fn worker_failure_quarantines_and_database_self_heals() {
     let fault = FaultInjectionEnv::new(MemEnv::shared());
     let db = UniKv::open(fault.clone(), "/db", bg_opts(1)).unwrap();
 
-    let mut poisoned = false;
+    let mut quarantined = false;
     let mut i = 0u32;
     'rounds: for _ in 0..50 {
         fault.clear_failures();
@@ -254,11 +259,19 @@ fn worker_failure_poisons_database() {
         // append fail while it (or its successor) is still in flight.
         let scheduled = stat(&db, "maint_jobs_scheduled");
         loop {
-            if db.put(format!("k{i:06}").as_bytes(), &[9u8; 200]).is_err() {
-                // A foreground WAL append caught the injected failure
-                // from a previous round; keep going.
-                fault.clear_failures();
-                continue;
+            match db.put(format!("k{i:06}").as_bytes(), &[9u8; 200]) {
+                Err(e) if e.is_read_only() => {
+                    // A flush already quarantined in an earlier round.
+                    quarantined = true;
+                    break 'rounds;
+                }
+                Err(_) => {
+                    // A foreground WAL append caught the injected failure
+                    // from a previous round; keep going.
+                    fault.clear_failures();
+                    continue;
+                }
+                Ok(()) => {}
             }
             i += 1;
             if stat(&db, "maint_jobs_scheduled") > scheduled {
@@ -267,22 +280,43 @@ fn worker_failure_poisons_database() {
         }
         fault.fail_after_appends(0);
         db.wait_for_background();
-        if db.background_error().is_some() {
-            poisoned = true;
+        if !db.health_report().quarantined.is_empty() {
+            quarantined = true;
             break 'rounds;
         }
     }
-    assert!(poisoned, "background failures never poisoned the database");
-    fault.clear_failures();
+    assert!(quarantined, "background failures never quarantined a job");
 
-    // Writes and structural operations now fail fast with the error...
-    let err = db.put(b"after", b"x").unwrap_err().to_string();
-    assert!(err.contains("poisoned"), "unexpected error: {err}");
-    assert!(db.flush().is_err());
-    assert!(db.compact_all().is_err());
+    // Quarantine, not poison: the injected failure is permanent but not a
+    // commit-step failure, so the database stays alive.
+    assert_eq!(db.background_error(), None);
+    assert_eq!(stat(&db, "maint_jobs_failed"), 0);
+    assert!(stat(&db, "maint_jobs_quarantined") >= 1);
+
+    // A quarantined flush means sealed memtables cannot drain: ReadOnly.
+    // Writes are rejected with the typed error while the fault persists...
+    assert_eq!(db.health(), HealthState::ReadOnly);
+    let err = db.put(b"after", b"x").unwrap_err();
+    assert!(err.is_read_only(), "unexpected error: {err}");
     // ...but reads still serve whatever was committed.
     db.get(b"k000000").unwrap();
     db.scan(b"k", 10).unwrap();
+
+    // Fault clears → the periodic quarantine probe re-runs the flush,
+    // which now succeeds, and health recovers on its own.
+    fault.clear_failures();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while db.health() != HealthState::Healthy && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        db.health(),
+        HealthState::Healthy,
+        "database did not self-heal"
+    );
+    assert!(db.health_report().quarantined.is_empty());
+    db.put(b"after", b"x").unwrap();
+    assert_eq!(db.get(b"after").unwrap(), Some(b"x".to_vec()));
 }
 
 /// Crash (power failure) with sealed memtables pending flush: with

@@ -12,8 +12,13 @@
 //!    (partial) appends, sync failures, read errors, silent bit flips on
 //!    reads or writes, and rename/delete failures. Rules select operations
 //!    by kind and path substring, can skip the first `n` matches, fire
-//!    once or stick, and can fire probabilistically — all driven by one
-//!    seed so a failing schedule replays exactly.
+//!    once, a bounded number of times ([`FaultRule::fail_times`] — a
+//!    *transient* storm that clears on its own), or stick, and can fire
+//!    probabilistically — all driven by one seed so a failing schedule
+//!    replays exactly. Injected errors carry a configurable
+//!    `io::ErrorKind` so they classify correctly under
+//!    `unikv_common::Error::is_transient` (e.g. `StorageFull` for a
+//!    scripted ENOSPC episode).
 //!
 //! The legacy `fail_after_appends` counter is kept as a shorthand for the
 //! most common plan (fail every append after the next `n`).
@@ -75,8 +80,16 @@ pub struct FaultRule {
     pub probability: f64,
     /// Disarm after the first firing (default) or keep firing.
     pub once: bool,
+    /// Fire at most this many times, then disarm; `0` defers to `once`.
+    /// `FaultRule::fail_times` builds bounded storms with this: fail the
+    /// next `k` matching operations, then succeed.
+    pub times: u64,
     /// Effect on the operation.
     pub action: FaultAction,
+    /// `io::ErrorKind` carried by injected failures, so callers observe a
+    /// properly *classified* error (`unikv_common::Error::is_transient`).
+    /// Defaults to `ErrorKind::Other`, which classifies as permanent.
+    pub kind: std::io::ErrorKind,
 }
 
 impl FaultRule {
@@ -88,7 +101,23 @@ impl FaultRule {
             after: 0,
             probability: 1.0,
             once: true,
+            times: 0,
             action,
+            kind: std::io::ErrorKind::Other,
+        }
+    }
+
+    /// A transient storm that clears on its own: fail the next `k`
+    /// matching operations, then succeed. The injected errors carry
+    /// `ErrorKind::Interrupted` (EINTR) so they classify as transient;
+    /// override with [`error_kind`](Self::error_kind) to model a
+    /// different condition (e.g. `StorageFull` for an ENOSPC episode).
+    pub fn fail_times(op: FaultOp, k: u64) -> FaultRule {
+        FaultRule {
+            once: false,
+            times: k,
+            kind: std::io::ErrorKind::Interrupted,
+            ..FaultRule::new(op, FaultAction::Fail)
         }
     }
 
@@ -113,7 +142,25 @@ impl FaultRule {
     /// Keep firing instead of disarming after the first hit.
     pub fn sticky(mut self) -> FaultRule {
         self.once = false;
+        self.times = 0;
         self
+    }
+
+    /// Tag injected errors with `kind` (see the `kind` field).
+    pub fn error_kind(mut self, kind: std::io::ErrorKind) -> FaultRule {
+        self.kind = kind;
+        self
+    }
+
+    /// Maximum number of firings before this rule disarms.
+    fn fire_limit(&self) -> u64 {
+        if self.times > 0 {
+            self.times
+        } else if self.once {
+            1
+        } else {
+            u64::MAX
+        }
     }
 }
 
@@ -149,7 +196,8 @@ struct PlanState {
     rules: Vec<FaultRule>,
     /// Remaining skips per rule (mirrors `rules[i].after`).
     skips: Vec<u64>,
-    fired: Vec<bool>,
+    /// Firings so far per rule (bounded by `FaultRule::fire_limit`).
+    fires: Vec<u64>,
     rng: DetRng,
 }
 
@@ -162,9 +210,10 @@ struct FaultShared {
 }
 
 impl FaultShared {
-    /// If an armed rule matches `(op, path)`, fire it. Returns the action
-    /// plus a deterministic salt for shaping the fault.
-    fn check(&self, op: FaultOp, path: &Path) -> Option<(FaultAction, u64)> {
+    /// If an armed rule matches `(op, path)`, fire it. Returns the action,
+    /// a deterministic salt for shaping the fault, and the error kind the
+    /// injected failure should carry.
+    fn check(&self, op: FaultOp, path: &Path) -> Option<(FaultAction, u64, std::io::ErrorKind)> {
         let mut guard = self.plan.lock();
         let state = guard.as_mut()?;
         let mut hit = None;
@@ -177,7 +226,7 @@ impl FaultShared {
                     continue;
                 }
             }
-            if state.fired[i] && rule.once {
+            if state.fires[i] >= rule.fire_limit() {
                 continue;
             }
             if state.skips[i] > 0 {
@@ -187,26 +236,33 @@ impl FaultShared {
             if rule.probability < 1.0 && state.rng.next_f64() >= rule.probability {
                 continue;
             }
-            hit = Some((i, rule.action));
+            hit = Some((i, rule.action, rule.kind));
             break;
         }
-        let (i, action) = hit?;
-        state.fired[i] = true;
+        let (i, action, kind) = hit?;
+        state.fires[i] += 1;
         let salt = state.rng.next_u64();
         drop(guard);
         self.injected.fetch_add(1, Ordering::SeqCst);
-        self.events
-            .lock()
-            .push(format!("{:?} {:?} on {}", action, op, path.display()));
-        Some((action, salt))
+        self.events.lock().push(format!(
+            "{:?} {:?} ({kind:?}) on {}",
+            action,
+            op,
+            path.display()
+        ));
+        Some((action, salt, kind))
     }
 }
 
+fn injected_error_kind(what: &str, path: &Path, kind: std::io::ErrorKind) -> Error {
+    Error::Io(std::io::Error::new(
+        kind,
+        format!("injected {what} failure on {}", path.display()),
+    ))
+}
+
 fn injected_error(what: &str, path: &Path) -> Error {
-    Error::Io(std::io::Error::other(format!(
-        "injected {what} failure on {}",
-        path.display()
-    )))
+    injected_error_kind(what, path, std::io::ErrorKind::Other)
 }
 
 #[derive(Default)]
@@ -252,10 +308,10 @@ impl FaultInjectionEnv {
     /// Arm a scripted fault plan (replacing any previous plan).
     pub fn set_plan(&self, plan: FaultPlan) {
         let skips = plan.rules.iter().map(|r| r.after).collect();
-        let fired = vec![false; plan.rules.len()];
+        let fires = vec![0; plan.rules.len()];
         *self.shared.plan.lock() = Some(PlanState {
             skips,
-            fired,
+            fires,
             rng: DetRng::seed_from_u64(plan.seed),
             rules: plan.rules,
         });
@@ -355,15 +411,17 @@ impl WritableFile for TrackedWritable {
             self.appends_until_failure.fetch_sub(1, Ordering::SeqCst);
         }
         match self.shared.check(FaultOp::Append, &self.path) {
-            Some((FaultAction::Fail, _)) => Err(injected_error("write", &self.path)),
-            Some((FaultAction::TornAppend, salt)) => {
+            Some((FaultAction::Fail, _, kind)) => {
+                Err(injected_error_kind("write", &self.path, kind))
+            }
+            Some((FaultAction::TornAppend, salt, kind)) => {
                 if !data.is_empty() {
                     let keep = (salt % data.len() as u64) as usize;
                     self.inner.append(&data[..keep])?;
                 }
-                Err(injected_error("torn write", &self.path))
+                Err(injected_error_kind("torn write", &self.path, kind))
             }
-            Some((FaultAction::FlipBit, salt)) => {
+            Some((FaultAction::FlipBit, salt, _)) => {
                 if data.is_empty() {
                     return self.inner.append(data);
                 }
@@ -377,17 +435,17 @@ impl WritableFile for TrackedWritable {
     }
 
     fn flush(&mut self) -> Result<()> {
-        if self.shared.check(FaultOp::Flush, &self.path).is_some() {
-            return Err(injected_error("flush", &self.path));
+        if let Some((_, _, kind)) = self.shared.check(FaultOp::Flush, &self.path) {
+            return Err(injected_error_kind("flush", &self.path, kind));
         }
         self.inner.flush()
     }
 
     fn sync(&mut self) -> Result<()> {
-        if self.shared.check(FaultOp::Sync, &self.path).is_some() {
+        if let Some((_, _, kind)) = self.shared.check(FaultOp::Sync, &self.path) {
             // A failed fsync leaves everything since the last barrier
             // volatile: do NOT advance the synced prefix.
-            return Err(injected_error("sync", &self.path));
+            return Err(injected_error_kind("sync", &self.path, kind));
         }
         self.inner.sync()?;
         let mut t = self.tracking.lock();
@@ -412,10 +470,10 @@ struct FaultRandomAccess {
 impl RandomAccessFile for FaultRandomAccess {
     fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
         match self.shared.check(FaultOp::Read, &self.path) {
-            Some((FaultAction::Fail | FaultAction::TornAppend, _)) => {
-                Err(injected_error("read", &self.path))
+            Some((FaultAction::Fail | FaultAction::TornAppend, _, kind)) => {
+                Err(injected_error_kind("read", &self.path, kind))
             }
-            Some((FaultAction::FlipBit, salt)) => {
+            Some((FaultAction::FlipBit, salt, _)) => {
                 let mut data = self.inner.read_at(offset, len)?;
                 if !data.is_empty() {
                     let bit = salt % (data.len() as u64 * 8);
@@ -445,10 +503,10 @@ struct FaultSequential {
 impl SequentialFile for FaultSequential {
     fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
         match self.shared.check(FaultOp::Read, &self.path) {
-            Some((FaultAction::Fail | FaultAction::TornAppend, _)) => {
-                Err(injected_error("read", &self.path))
+            Some((FaultAction::Fail | FaultAction::TornAppend, _, kind)) => {
+                Err(injected_error_kind("read", &self.path, kind))
             }
-            Some((FaultAction::FlipBit, salt)) => {
+            Some((FaultAction::FlipBit, salt, _)) => {
                 let n = self.inner.read(buf)?;
                 if n > 0 {
                     let bit = salt % (n as u64 * 8);
@@ -463,8 +521,8 @@ impl SequentialFile for FaultSequential {
 
 impl Env for FaultInjectionEnv {
     fn new_writable(&self, path: &Path) -> Result<Box<dyn WritableFile>> {
-        if self.shared.check(FaultOp::OpenWrite, path).is_some() {
-            return Err(injected_error("open-for-write", path));
+        if let Some((_, _, kind)) = self.shared.check(FaultOp::OpenWrite, path) {
+            return Err(injected_error_kind("open-for-write", path, kind));
         }
         let inner = self.inner.new_writable(path)?;
         let mut t = self.tracking.lock();
@@ -480,8 +538,8 @@ impl Env for FaultInjectionEnv {
     }
 
     fn new_random_access(&self, path: &Path) -> Result<Arc<dyn RandomAccessFile>> {
-        if self.shared.check(FaultOp::OpenRead, path).is_some() {
-            return Err(injected_error("open-for-read", path));
+        if let Some((_, _, kind)) = self.shared.check(FaultOp::OpenRead, path) {
+            return Err(injected_error_kind("open-for-read", path, kind));
         }
         Ok(Arc::new(FaultRandomAccess {
             inner: self.inner.new_random_access(path)?,
@@ -491,8 +549,8 @@ impl Env for FaultInjectionEnv {
     }
 
     fn new_sequential(&self, path: &Path) -> Result<Box<dyn SequentialFile>> {
-        if self.shared.check(FaultOp::OpenRead, path).is_some() {
-            return Err(injected_error("open-for-read", path));
+        if let Some((_, _, kind)) = self.shared.check(FaultOp::OpenRead, path) {
+            return Err(injected_error_kind("open-for-read", path, kind));
         }
         Ok(Box::new(FaultSequential {
             inner: self.inner.new_sequential(path)?,
@@ -510,8 +568,8 @@ impl Env for FaultInjectionEnv {
     }
 
     fn delete_file(&self, path: &Path) -> Result<()> {
-        if self.shared.check(FaultOp::Delete, path).is_some() {
-            return Err(injected_error("delete", path));
+        if let Some((_, _, kind)) = self.shared.check(FaultOp::Delete, path) {
+            return Err(injected_error_kind("delete", path, kind));
         }
         let mut t = self.tracking.lock();
         t.created.remove(path);
@@ -521,8 +579,8 @@ impl Env for FaultInjectionEnv {
     }
 
     fn rename(&self, from: &Path, to: &Path) -> Result<()> {
-        if self.shared.check(FaultOp::Rename, from).is_some() {
-            return Err(injected_error("rename", from));
+        if let Some((_, _, kind)) = self.shared.check(FaultOp::Rename, from) {
+            return Err(injected_error_kind("rename", from, kind));
         }
         self.inner.rename(from, to)?;
         // Rename is treated as a durable metadata operation (write_atomic
@@ -732,6 +790,39 @@ mod tests {
         assert!(a.iter().any(|&f| f), "some appends should fail");
         assert!(!a.iter().all(|&f| f), "some appends should succeed");
         assert_ne!(a, fire_pattern(43), "different seed, different schedule");
+    }
+
+    #[test]
+    fn fail_times_rule_fails_exactly_k_then_succeeds() {
+        let env = FaultInjectionEnv::new(MemEnv::shared());
+        env.set_plan(FaultPlan::new(9).rule(FaultRule::fail_times(FaultOp::Append, 3)));
+        let mut w = env.new_writable(Path::new("/f")).unwrap();
+        for i in 0..3 {
+            let err = w.append(b"x").unwrap_err();
+            // The storm is transient by default: EINTR-class errors.
+            assert!(err.is_transient(), "fault {i} should classify transient");
+        }
+        // Budget exhausted: the storm has cleared.
+        w.append(b"x").unwrap();
+        w.append(b"x").unwrap();
+        assert_eq!(env.injected_faults(), 3);
+    }
+
+    #[test]
+    fn error_kind_tags_injected_errors() {
+        let env = FaultInjectionEnv::new(MemEnv::shared());
+        env.set_plan(FaultPlan::new(4).rule(
+            FaultRule::fail_times(FaultOp::Sync, 1).error_kind(std::io::ErrorKind::StorageFull),
+        ));
+        let mut w = env.new_writable(Path::new("/f")).unwrap();
+        w.append(b"x").unwrap();
+        let err = w.sync().unwrap_err();
+        assert!(err.is_storage_full(), "expected ENOSPC-class error: {err}");
+        assert!(err.is_transient());
+        // Untagged rules stay permanent (ErrorKind::Other).
+        env.set_plan(FaultPlan::new(4).rule(FaultRule::new(FaultOp::Sync, FaultAction::Fail)));
+        let err = w.sync().unwrap_err();
+        assert!(!err.is_transient(), "default injected errors are permanent");
     }
 
     #[test]

@@ -55,6 +55,13 @@ pub trait SequentialFile: Send {
 }
 
 /// Abstract filesystem used by every storage component.
+///
+/// Implementations must surface I/O failures as `Error::Io` *preserving
+/// the original `io::ErrorKind`*: the engine's resilience policy
+/// classifies failures via `unikv_common::Error::is_transient` (ENOSPC,
+/// EAGAIN/EINTR, timeouts retry with backoff; everything else is treated
+/// as permanent), so an env that collapses kinds would turn recoverable
+/// episodes into quarantined jobs.
 pub trait Env: Send + Sync {
     /// Create (truncating) a file for appending.
     fn new_writable(&self, path: &Path) -> Result<Box<dyn WritableFile>>;
@@ -157,6 +164,24 @@ mod tests {
     fn mem_env_conformance() {
         let env = MemEnv::new();
         conformance(&env, Path::new("/db"));
+    }
+
+    /// `io::ErrorKind` must survive the default helpers (`write_atomic`
+    /// composes append/sync/rename): transience classification at the
+    /// engine layer depends on it.
+    #[test]
+    fn error_kinds_propagate_through_write_atomic() {
+        use crate::fault::{FaultOp, FaultPlan, FaultRule};
+        let env = crate::fault::FaultInjectionEnv::new(MemEnv::shared());
+        env.set_plan(FaultPlan::new(1).rule(
+            FaultRule::fail_times(FaultOp::Sync, 1).error_kind(std::io::ErrorKind::StorageFull),
+        ));
+        let err = env
+            .write_atomic(Path::new("/meta"), b"payload")
+            .unwrap_err();
+        assert!(err.is_storage_full(), "kind lost in write_atomic: {err}");
+        assert!(err.is_transient());
+        env.write_atomic(Path::new("/meta"), b"payload").unwrap();
     }
 
     #[test]

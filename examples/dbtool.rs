@@ -8,6 +8,7 @@
 //! cargo run --release --example dbtool -- <dir> del k
 //! cargo run --release --example dbtool -- <dir> scan <from> [limit]
 //! cargo run --release --example dbtool -- <dir> stats
+//! cargo run --release --example dbtool -- <dir> status
 //! cargo run --release --example dbtool -- <dir> compact
 //! cargo run --release --example dbtool -- <dir> gc
 //! cargo run --release --example dbtool -- <dir> fill <n> [value_size]
@@ -20,7 +21,9 @@ use unikv_env::fs::FsEnv;
 
 fn usage() -> ! {
     eprintln!("usage: dbtool <dir> <put k v | get k | del k | scan from [limit] |");
-    eprintln!("                      stats | compact | gc | fill n [value_size] | verify>");
+    eprintln!(
+        "                      stats | status | compact | gc | fill n [value_size] | verify>"
+    );
     std::process::exit(2);
 }
 
@@ -90,6 +93,43 @@ fn main() -> unikv_common::Result<()> {
                 "write amplification: {:.2}",
                 db.stats().write_amplification()
             );
+        }
+        ("status", []) => {
+            // Operator health check: state machine position, what is being
+            // retried or quarantined, and how hard writes are braking.
+            let report = db.health_report();
+            println!("health: {:?}", report.state);
+            if let Some(err) = &report.background_error {
+                println!("background error: {err}");
+            }
+            println!("retrying jobs: {}", report.retrying);
+            for q in &report.quarantined {
+                println!(
+                    "  quarantined: {:?} on partition {} ({})",
+                    q.kind, q.partition, q.reason
+                );
+            }
+            let snap: std::collections::HashMap<_, _> = db.stats().snapshot().into_iter().collect();
+            println!(
+                "maintenance: {} scheduled, {} completed, {} failed fatally",
+                snap["maint_jobs_scheduled"],
+                snap["maint_jobs_completed"],
+                snap["maint_jobs_failed"]
+            );
+            println!(
+                "resilience: {} retries, {} quarantines, {} health transitions, {} ms degraded",
+                snap["maint_job_retries"],
+                snap["maint_jobs_quarantined"],
+                snap["health_transitions"],
+                snap["time_degraded_ms"]
+            );
+            println!(
+                "stalls: {} slowdowns, {} stops, {:.1} ms stalled",
+                snap["stall_slowdowns"],
+                snap["stall_stops"],
+                snap["stall_time_micros"] as f64 / 1000.0
+            );
+            println!("partitions: {}", db.partition_count());
         }
         ("compact", []) => {
             db.compact_all()?;

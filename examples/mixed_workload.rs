@@ -87,6 +87,17 @@ fn main() -> unikv_common::Result<()> {
         snap["stall_stops"],
         snap["stall_time_micros"] as f64 / 1000.0
     );
+    // Exit health report: on a healthy run every counter here is zero —
+    // anything else means maintenance hit (and survived) real faults.
+    let health = unikv_bg.health_report();
+    println!(
+        "  health {:?}: {} retries, {} quarantines, {} transitions, {} ms degraded",
+        health.state,
+        snap["maint_job_retries"],
+        snap["maint_jobs_quarantined"],
+        snap["health_transitions"],
+        snap["time_degraded_ms"]
+    );
 
     // --- LevelDB-like baseline ---
     let mut lsm_opts = LsmOptions::baseline(Baseline::LevelDb);
