@@ -530,8 +530,10 @@ pub fn amplification(cfg: &BenchConfig) -> Result<()> {
             cfg.seed + 7,
         )?;
         e.flush()?;
-        let device_wa = counters.bytes_written() as f64 / user_bytes as f64;
-        counters.reset();
+        // Atomic drain: background maintenance threads may still be
+        // accounting I/O here, and read-then-reset would drop their bytes.
+        let (_, written_so_far) = counters.snapshot_and_reset();
+        let device_wa = written_so_far as f64 / user_bytes as f64;
         let reads = cfg.num_ops.min(10_000);
         read_phase(e.as_ref(), reads, cfg.num_keys, cfg.seed + 8)?;
         let device_ra =

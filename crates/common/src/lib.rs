@@ -15,6 +15,7 @@ pub mod error;
 pub mod hash;
 pub mod ikey;
 pub mod keyrange;
+pub mod metrics;
 pub mod pointer;
 pub mod rng;
 

@@ -28,10 +28,11 @@ use crate::maintenance::{
     RetryConfig, StallLevel, SyncPoints,
 };
 use crate::meta::{DbMeta, LogRef, PartitionMeta, TableMeta};
+use crate::metrics::DbMetrics;
 use crate::options::UniKvOptions;
 use crate::partition::{
-    checkpoint_due, decode_index_ckpt, encode_index_ckpt, table_options, Partition, SealedMem,
-    INDEX_CKPT,
+    checkpoint_due, decode_index_ckpt, encode_index_ckpt, table_options_with_io, Partition,
+    SealedMem, INDEX_CKPT,
 };
 use crate::resolver::{partition_dir, ValueResolver};
 use parking_lot::RwLock;
@@ -43,6 +44,7 @@ use std::time::{Duration, Instant};
 use unikv_common::ikey::{
     extract_seq_type, extract_user_key, make_internal_key, SequenceNumber, ValueType,
 };
+use unikv_common::metrics::{MetricsClock, MetricsSnapshot, TraceEvent, TraceOp, TraceOutcome};
 use unikv_common::pointer::SeparatedValue;
 use unikv_common::{Error, Result};
 use unikv_env::Env;
@@ -243,6 +245,7 @@ pub(crate) struct DbInner {
     resolver: Arc<ValueResolver>,
     fetch_pool: FetchPool,
     pub(crate) stats: Arc<UniKvStats>,
+    pub(crate) metrics: DbMetrics,
     pub(crate) maint: MaintState,
     pub(crate) sync: SyncPoints,
 }
@@ -253,7 +256,8 @@ impl DbInner {
         opts.validate()?;
         env.create_dir_all(&root)?;
         let cache = (opts.block_cache_bytes > 0).then(|| BlockCache::new(opts.block_cache_bytes));
-        let topts = table_options(cache);
+        let metrics = DbMetrics::new(&opts);
+        let topts = table_options_with_io(cache, Some(metrics.table_io.clone()));
 
         let meta_path = root.join("META");
         let meta = if env.file_exists(&meta_path) {
@@ -304,6 +308,7 @@ impl DbInner {
                 &mut last_seq,
                 &mut next_file,
                 &stats,
+                &metrics,
             )?;
             core.partitions.push(p);
             stale_wals.extend(stale);
@@ -327,7 +332,8 @@ impl DbInner {
 
         let db = DbInner {
             resolver: Arc::new(ValueResolver::new(env.clone(), root.clone())),
-            fetch_pool: FetchPool::new(opts.value_fetch_threads),
+            fetch_pool: FetchPool::new(opts.value_fetch_threads)
+                .with_metrics(metrics.fetch.clone()),
             env,
             root,
             maint: MaintState::new(RetryConfig::from_options(&opts), stats.clone()),
@@ -335,6 +341,7 @@ impl DbInner {
             topts,
             core: RwLock::new(core),
             stats,
+            metrics,
             sync: SyncPoints::default(),
         };
 
@@ -424,6 +431,7 @@ impl DbInner {
         if key.is_empty() {
             return Err(Error::invalid_argument("empty keys are not supported"));
         }
+        let t0 = self.metrics.registry.now_micros();
         if self.opts.background_jobs > 0 {
             self.wait_for_write_room(Some(key))?;
         }
@@ -445,9 +453,9 @@ impl DbInner {
             &self.stats.user_bytes_written,
             (key.len() + value.len()) as u64,
         );
+        let pid = p.meta.id;
         if p.mem.approximate_memory_usage() >= self.opts.write_buffer_size {
             if self.opts.background_jobs > 0 {
-                let pid = core.partitions[pidx].meta.id;
                 self.seal_memtable(&mut core, pidx)?;
                 self.schedule(JobKind::Flush, pid);
             } else {
@@ -455,6 +463,21 @@ impl DbInner {
                 self.run_triggers(&mut core, pidx)?;
             }
         }
+        let t1 = self.metrics.registry.now_micros();
+        self.metrics.eng.writes.inc();
+        self.metrics.eng.put_latency.record(t1.saturating_sub(t0));
+        self.metrics.registry.trace_event(TraceEvent {
+            at_micros: t1,
+            dur_micros: t1.saturating_sub(t0),
+            op: if t == ValueType::Value {
+                TraceOp::Put
+            } else {
+                TraceOp::Delete
+            },
+            outcome: TraceOutcome::Done,
+            partition: pid,
+            bytes: (key.len() + value.len()) as u64,
+        });
         Ok(())
     }
 
@@ -466,6 +489,7 @@ impl DbInner {
         if batch.is_empty() {
             return Ok(());
         }
+        let t0 = self.metrics.registry.now_micros();
         if self.opts.background_jobs > 0 {
             self.wait_for_write_room(None)?;
         }
@@ -514,6 +538,22 @@ impl DbInner {
                 }
             }
         }
+        // One latency sample per batch; the contained ops count into
+        // `writes`/`batch_ops` so `put_latency`'s sample count keeps
+        // matching the number of put/delete *calls*.
+        let t1 = self.metrics.registry.now_micros();
+        let n = batch.ops.len() as u64;
+        self.metrics.eng.writes.add(n);
+        self.metrics.batch_ops.add(n);
+        self.metrics.batch_latency.record(t1.saturating_sub(t0));
+        self.metrics.registry.trace_event(TraceEvent {
+            at_micros: t1,
+            dur_micros: t1.saturating_sub(t0),
+            op: TraceOp::Put,
+            outcome: TraceOutcome::Done,
+            partition: 0,
+            bytes: n,
+        });
         Ok(())
     }
 
@@ -582,6 +622,7 @@ impl DbInner {
             self.stats
                 .maint_queue_depth
                 .store(depth as u64, Ordering::Relaxed);
+            self.metrics.maint_queue_depth.set(depth as u64);
         }
     }
 
@@ -688,13 +729,37 @@ impl DbInner {
 
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.track_read(self.get_impl(key))
+        let t0 = self.metrics.registry.now_micros();
+        let r = self.track_read(self.get_impl(key));
+        let t1 = self.metrics.registry.now_micros();
+        match &r {
+            Ok((value, outcome, pid)) => {
+                self.metrics.eng.record_read(*outcome);
+                self.metrics.eng.get_latency.record(t1.saturating_sub(t0));
+                self.metrics.registry.trace_event(TraceEvent {
+                    at_micros: t1,
+                    dur_micros: t1.saturating_sub(t0),
+                    op: TraceOp::Get,
+                    outcome: *outcome,
+                    partition: *pid,
+                    bytes: value.as_ref().map_or(0, |v| v.len()) as u64,
+                });
+            }
+            Err(_) => {
+                self.metrics.eng.get_latency.record(t1.saturating_sub(t0));
+            }
+        }
+        r.map(|(value, _, _)| value)
     }
 
-    fn get_impl(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    /// Resolve `key` to its value plus the tier that answered (for the
+    /// per-tier read counters and the op trace) and the partition id.
+    #[allow(clippy::type_complexity)]
+    fn get_impl(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, TraceOutcome, u32)> {
         let core = self.core.read();
         let snapshot = core.last_seq;
         let p = &core.partitions[core.route(key)];
+        let pid = p.meta.id;
 
         // 1. Memtables: the active one, then sealed ones newest-first
         //    (sealed memtables hold data newer than any flushed table).
@@ -702,11 +767,12 @@ impl DbInner {
             match mem.get(key, snapshot) {
                 LookupResult::Value(slot) => {
                     UniKvStats::add(&self.stats.memtable_hits, 1);
-                    return self.resolve_slot(&slot).map(Some);
+                    let (v, _) = self.resolve_slot(&slot)?;
+                    return Ok((Some(v), TraceOutcome::Memtable, pid));
                 }
                 LookupResult::Deleted => {
                     UniKvStats::add(&self.stats.memtable_hits, 1);
-                    return Ok(None);
+                    return Ok((None, TraceOutcome::Memtable, pid));
                 }
                 LookupResult::NotFound => {}
             }
@@ -723,8 +789,11 @@ impl DbInner {
                     continue; // stale entry for an already-merged table
                 };
                 match self.probe_table(p, tmeta, &seek_key, key)? {
-                    Probe::Value(slot) => return self.resolve_slot(&slot).map(Some),
-                    Probe::Tombstone => return Ok(None),
+                    Probe::Value(slot) => {
+                        let (v, _) = self.resolve_slot(&slot)?;
+                        return Ok((Some(v), TraceOutcome::Unsorted, pid));
+                    }
+                    Probe::Tombstone => return Ok((None, TraceOutcome::Unsorted, pid)),
                     Probe::Miss => {
                         UniKvStats::add(&self.stats.index_false_positives, 1);
                     }
@@ -737,23 +806,35 @@ impl DbInner {
                     continue;
                 }
                 match self.probe_table(p, tmeta, &seek_key, key)? {
-                    Probe::Value(slot) => return self.resolve_slot(&slot).map(Some),
-                    Probe::Tombstone => return Ok(None),
+                    Probe::Value(slot) => {
+                        let (v, _) = self.resolve_slot(&slot)?;
+                        return Ok((Some(v), TraceOutcome::Unsorted, pid));
+                    }
+                    Probe::Tombstone => return Ok((None, TraceOutcome::Unsorted, pid)),
                     Probe::Miss => {}
                 }
             }
         }
 
         // 3. SortedStore: binary search over boundary keys — at most one
-        //    table, at most one data block.
+        //    table, at most one data block. Values here may live in the
+        //    value log (partial KV separation); report those as `Vlog`.
         if let Some(tmeta) = p.sorted_table_for(key) {
             match self.probe_table(p, tmeta, &seek_key, key)? {
-                Probe::Value(slot) => return self.resolve_slot(&slot).map(Some),
-                Probe::Tombstone => return Ok(None),
+                Probe::Value(slot) => {
+                    let (v, from_vlog) = self.resolve_slot(&slot)?;
+                    let outcome = if from_vlog {
+                        TraceOutcome::Vlog
+                    } else {
+                        TraceOutcome::Sorted
+                    };
+                    return Ok((Some(v), outcome, pid));
+                }
+                Probe::Tombstone => return Ok((None, TraceOutcome::Sorted, pid)),
                 Probe::Miss => {}
             }
         }
-        Ok(None)
+        Ok((None, TraceOutcome::Miss, pid))
     }
 
     fn probe_table(
@@ -788,10 +869,12 @@ impl DbInner {
         Ok(table)
     }
 
-    fn resolve_slot(&self, slot: &[u8]) -> Result<Vec<u8>> {
+    /// Decode a value slot; the flag reports whether the value had to be
+    /// fetched from a value log (pointer) rather than stored inline.
+    fn resolve_slot(&self, slot: &[u8]) -> Result<(Vec<u8>, bool)> {
         match SeparatedValue::decode(slot)? {
-            SeparatedValue::Inline(v) => Ok(v),
-            SeparatedValue::Pointer(ptr) => self.resolver.read(&ptr),
+            SeparatedValue::Inline(v) => Ok((v, false)),
+            SeparatedValue::Pointer(ptr) => Ok((self.resolver.read(&ptr)?, true)),
         }
     }
 
@@ -808,8 +891,23 @@ impl DbInner {
         end: Option<&[u8]>,
         limit: usize,
     ) -> Result<Vec<ScanItem>> {
-        let r = self.scan_range_impl(from, end, limit);
-        self.track_read(r)
+        let t0 = self.metrics.registry.now_micros();
+        let r = self.track_read(self.scan_range_impl(from, end, limit));
+        let t1 = self.metrics.registry.now_micros();
+        self.metrics.eng.scans.inc();
+        self.metrics.eng.scan_latency.record(t1.saturating_sub(t0));
+        if let Ok(items) = &r {
+            self.metrics.eng.scan_items.add(items.len() as u64);
+            self.metrics.registry.trace_event(TraceEvent {
+                at_micros: t1,
+                dur_micros: t1.saturating_sub(t0),
+                op: TraceOp::Scan,
+                outcome: TraceOutcome::Done,
+                partition: 0,
+                bytes: items.len() as u64,
+            });
+        }
+        r
     }
 
     fn scan_range_impl(
@@ -887,6 +985,7 @@ impl DbInner {
             }
         }
         let parallel = self.opts.enable_scan_optimization;
+        self.metrics.scan_vlog_fetches.add(jobs.len() as u64);
         self.fetch_pool
             .fetch(&self.resolver, &jobs, &mut out_values, parallel, parallel)?;
 
@@ -1035,7 +1134,8 @@ impl DbInner {
         // Create the replacement WAL before touching any state: if the
         // create fails, the memtable and its WAL are still fully intact.
         let new_writer =
-            LogWriter::new(self.env.new_writable(&filenames::wal_file(&dir, new_wal))?);
+            LogWriter::new(self.env.new_writable(&filenames::wal_file(&dir, new_wal))?)
+                .with_metrics(self.metrics.wal.clone());
         let sealed = std::mem::replace(&mut p.mem, Arc::new(MemTable::new()));
         let old_wal = p.meta.wal_number;
         p.wal = new_writer;
@@ -1159,13 +1259,35 @@ impl DbInner {
             self.seal_memtable(core, pidx)?;
         }
         while !core.partitions[pidx].imms.is_empty() {
+            let t0 = self.metrics.registry.now_micros();
             let table_number = core.alloc_file();
             let sealed = core.partitions[pidx].imms[0].clone();
-            let dir = partition_dir(&self.root, core.partitions[pidx].meta.id);
+            let pid = core.partitions[pidx].meta.id;
+            let dir = partition_dir(&self.root, pid);
             let (tmeta, keys) = self.build_flush_table(&dir, table_number, sealed.mem)?;
+            let bytes = tmeta.size;
             self.install_flush(core, pidx, tmeta, &keys, sealed.wal_number)?;
+            self.record_maint(TraceOp::Flush, t0, pid, bytes);
         }
         Ok(())
+    }
+
+    /// Record one completed maintenance operation: a latency sample in the
+    /// op's histogram and a `Done` trace event.
+    fn record_maint(&self, op: TraceOp, t0: u64, pid: u32, bytes: u64) {
+        let t1 = self.metrics.registry.now_micros();
+        self.metrics
+            .eng
+            .maint_histogram(op)
+            .record(t1.saturating_sub(t0));
+        self.metrics.registry.trace_event(TraceEvent {
+            at_micros: t1,
+            dur_micros: t1.saturating_sub(t0),
+            op,
+            outcome: TraceOutcome::Done,
+            partition: pid,
+            bytes,
+        });
     }
 
     fn table_builder_opts(&self) -> TableBuilderOptions {
@@ -1191,6 +1313,7 @@ impl DbInner {
         if p.meta.unsorted.is_empty() && p.meta.sorted.is_empty() {
             return Ok(());
         }
+        let t0 = self.metrics.registry.now_micros();
         self.sync.hit("merge:begin")?;
         let dir = partition_dir(&self.root, p.meta.id);
         let input_bytes = p.unsorted_bytes() + p.sorted_bytes();
@@ -1312,6 +1435,7 @@ impl DbInner {
             self.env
                 .delete_file(&filenames::table_file(&dir, t.number))?;
         }
+        self.record_maint(TraceOp::Merge, t0, core.partitions[pidx].meta.id, written);
         Ok(())
     }
 
@@ -1325,6 +1449,7 @@ impl DbInner {
         if p.meta.unsorted.len() < 2 {
             return Ok(());
         }
+        let t0 = self.metrics.registry.now_micros();
         self.sync.hit("scanmerge:begin")?;
         let dir = partition_dir(&self.root, p.meta.id);
 
@@ -1391,6 +1516,11 @@ impl DbInner {
             self.env
                 .delete_file(&filenames::table_file(&dir, t.number))?;
         }
+        let (pid, bytes) = {
+            let p = &core.partitions[pidx];
+            (p.meta.id, p.meta.unsorted[0].size)
+        };
+        self.record_maint(TraceOp::ScanMerge, t0, pid, bytes);
         Ok(())
     }
 
@@ -1447,6 +1577,7 @@ impl DbInner {
             }
             return Ok(());
         }
+        let t0 = self.metrics.registry.now_micros();
         self.sync.hit("gc:begin")?;
         let dir = partition_dir(&self.root, p.meta.id);
         let old_logs: Vec<u64> = p.vlog.lock().log_numbers();
@@ -1557,6 +1688,7 @@ impl DbInner {
         let p = &mut core.partitions[pidx];
         p.vlog.lock().delete_logs(&old_logs)?;
         self.sweep_shared_logs(core, &old_inherited)?;
+        self.record_maint(TraceOp::Gc, t0, core.partitions[pidx].meta.id, written);
         Ok(())
     }
 
@@ -1626,6 +1758,7 @@ impl DbInner {
         if total < 2 {
             return Ok(()); // cannot split fewer than two keys
         }
+        let t0 = self.metrics.registry.now_micros();
         self.sync.hit("split:begin")?;
         let half = total / 2;
 
@@ -1670,10 +1803,13 @@ impl DbInner {
         let mk_child = |id: u32| -> Result<ChildBuild> {
             let dir = partition_dir(&self.root, id);
             self.env.create_dir_all(&dir)?;
+            let mut vlog =
+                ValueLog::open(self.env.clone(), dir.clone(), id, self.opts.max_log_size)?;
+            vlog.set_metrics(self.metrics.vlog.clone());
             Ok(ChildBuild {
                 id,
-                dir: dir.clone(),
-                vlog: ValueLog::open(self.env.clone(), dir, id, self.opts.max_log_size)?,
+                dir,
+                vlog,
                 tables: Vec::new(),
                 builder: None,
                 live_value_bytes: 0,
@@ -1773,10 +1909,8 @@ impl DbInner {
         let boundary = boundary.expect("total >= 2 guarantees a right half");
         self.sync.hit("split:build")?;
 
-        UniKvStats::add(
-            &self.stats.split_bytes_written,
-            left.written + right.written,
-        );
+        let split_bytes = left.written + right.written;
+        UniKvStats::add(&self.stats.split_bytes_written, split_bytes);
         UniKvStats::add(&self.stats.splits, 1);
 
         // Build the child partitions and swap them in.
@@ -1789,7 +1923,8 @@ impl DbInner {
             let wal = LogWriter::new(
                 self.env
                     .new_writable(&filenames::wal_file(&child.dir, wal_number))?,
-            );
+            )
+            .with_metrics(self.metrics.wal.clone());
             Ok(Partition {
                 meta: PartitionMeta {
                     id: child.id,
@@ -1846,6 +1981,7 @@ impl DbInner {
         }
         // Parent logs with no surviving references can go immediately.
         self.sweep_shared_logs(core, &parent_logs)?;
+        self.record_maint(TraceOp::Split, t0, parent_id, split_bytes);
         Ok(())
     }
 
@@ -1886,13 +2022,16 @@ impl DbInner {
                     core.partitions[pidx].imms[0].clone(),
                 )
             };
+            let t0 = self.metrics.registry.now_micros();
             let (tmeta, keys) = self.build_flush_table(&dir, table_number, sealed.mem)?;
+            let bytes = tmeta.size;
             let mut core = self.core.write();
             let Some(pidx) = core.partition_index(pid) else {
                 return Ok(());
             };
             self.install_flush(&mut core, pidx, tmeta, &keys, sealed.wal_number)?;
             self.schedule_triggers(&core, pidx);
+            self.record_maint(TraceOp::Flush, t0, pid, bytes);
         }
     }
 
@@ -1933,6 +2072,7 @@ impl DbInner {
                 p.vlog.clone(),
             )
         };
+        let t0 = self.metrics.registry.now_micros();
         self.sync.hit("merge:begin")?;
         let input_bytes = consumed.iter().map(|t| t.size).sum::<u64>()
             + sorted_metas.iter().map(|t| t.size).sum::<u64>();
@@ -2068,6 +2208,7 @@ impl DbInner {
         }
         self.maint.notify_progress();
         self.schedule_triggers(&core, pidx);
+        self.record_maint(TraceOp::Merge, t0, pid, written);
         Ok(())
     }
 
@@ -2098,6 +2239,7 @@ impl DbInner {
                 handles,
             )
         };
+        let t0 = self.metrics.registry.now_micros();
         self.sync.hit("scanmerge:begin")?;
 
         // Phase 2: merge into one table, collecting kept keys.
@@ -2183,6 +2325,7 @@ impl DbInner {
         }
         self.maint.notify_progress();
         self.schedule_triggers(&core, pidx);
+        self.record_maint(TraceOp::ScanMerge, t0, pid, props.file_size);
         Ok(())
     }
 
@@ -2404,6 +2547,42 @@ impl UniKv {
     pub fn set_maintenance_clock(&self, clock: Option<MaintClock>) {
         self.inner.maint.set_clock(clock);
     }
+
+    /// The database's metric bundle: registry plus every typed handle.
+    pub fn metrics(&self) -> &DbMetrics {
+        &self.inner.metrics
+    }
+
+    /// Human-readable metrics report: every counter, gauge, and latency
+    /// histogram (count/p50/p95/p99/max) plus the tail of the op trace.
+    pub fn metrics_report(&self) -> String {
+        self.inner.metrics.report_text()
+    }
+
+    /// Machine-readable metrics report (tab-separated, one family per
+    /// line; histograms include their full bucket vector).
+    pub fn metrics_report_machine(&self) -> String {
+        self.inner.metrics.report_machine()
+    }
+
+    /// Snapshot every metric family (mergeable across databases/engines).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Replace the metrics clock (microseconds, arbitrary monotonic
+    /// origin), or restore the real clock with `None`. Tests install
+    /// [`unikv_common::metrics::manual_step_clock`] to make latency
+    /// histograms exactly reproducible.
+    pub fn set_metrics_clock(&self, clock: Option<MetricsClock>) {
+        self.inner.metrics.registry.set_clock(clock);
+    }
+
+    /// Zero every metric and clear the op trace; registered families
+    /// remain enumerable.
+    pub fn reset_metrics(&self) {
+        self.inner.metrics.registry.reset();
+    }
 }
 
 impl Drop for UniKv {
@@ -2510,6 +2689,7 @@ fn open_partition(
     last_seq: &mut SequenceNumber,
     next_file: &mut u64,
     stats: &UniKvStats,
+    metrics: &DbMetrics,
 ) -> Result<(Partition, Vec<PathBuf>)> {
     let dir = partition_dir(root, pmeta.id);
     env.create_dir_all(&dir)?;
@@ -2551,7 +2731,8 @@ fn open_partition(
         }
     }
 
-    let vlog = ValueLog::open(env.clone(), dir.clone(), pmeta.id, opts.max_log_size)?;
+    let mut vlog = ValueLog::open(env.clone(), dir.clone(), pmeta.id, opts.max_log_size)?;
+    vlog.set_metrics(metrics.vlog.clone());
 
     // Rebuild the hash index: restore the checkpoint if present and valid,
     // drop entries for tables that no longer exist, then replay the keys
@@ -2664,9 +2845,10 @@ fn open_partition(
         };
         meta.wal_number = new_number;
         LogWriter::new(env.new_writable(&filenames::wal_file(&dir, new_number))?)
+            .with_metrics(metrics.wal.clone())
     } else {
         // Nothing buffered: recreating the (empty or absent) file is safe.
-        LogWriter::new(env.new_writable(&wal_path)?)
+        LogWriter::new(env.new_writable(&wal_path)?).with_metrics(metrics.wal.clone())
     };
 
     Ok((

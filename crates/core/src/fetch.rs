@@ -9,6 +9,7 @@
 use crate::resolver::ValueResolver;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::sync::Arc;
+use unikv_common::metrics::{Counter, MetricsRegistry};
 use unikv_common::{Result, ValuePointer};
 
 /// Batches below this size are fetched inline by the calling thread.
@@ -23,11 +24,33 @@ struct Task {
     reply: Sender<Result<Vec<(usize, Vec<u8>)>>>,
 }
 
+/// Dispatch counters recorded by [`FetchPool::fetch`] — how often the
+/// scan optimization actually engaged the pool versus fetching inline.
+#[derive(Clone)]
+pub struct FetchMetrics {
+    /// Batches large enough to be fanned out across pool workers.
+    pub parallel_batches: Counter,
+    /// Batches fetched inline on the calling thread (small or `parallel
+    /// = false`).
+    pub inline_batches: Counter,
+}
+
+impl FetchMetrics {
+    /// Register the fetch-dispatch families in `registry`.
+    pub fn new(registry: &MetricsRegistry) -> FetchMetrics {
+        FetchMetrics {
+            parallel_batches: registry.counter("fetch_parallel_batches"),
+            inline_batches: registry.counter("fetch_inline_batches"),
+        }
+    }
+}
+
 /// A persistent pool of value-fetch workers.
 pub struct FetchPool {
     tx: Option<Sender<Task>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     size: usize,
+    metrics: Option<FetchMetrics>,
 }
 
 impl FetchPool {
@@ -61,7 +84,14 @@ impl FetchPool {
             tx: Some(tx),
             workers,
             size,
+            metrics: None,
         }
+    }
+
+    /// Attach dispatch counters (builder style).
+    pub fn with_metrics(mut self, metrics: FetchMetrics) -> FetchPool {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Number of workers.
@@ -87,10 +117,18 @@ impl FetchPool {
             }
         }
         if !parallel || jobs.len() < MIN_PARALLEL_JOBS {
+            if let Some(m) = &self.metrics {
+                if !jobs.is_empty() {
+                    m.inline_batches.inc();
+                }
+            }
             for (idx, ptr) in jobs {
                 out[*idx] = Some(resolver.read(ptr)?);
             }
             return Ok(());
+        }
+        if let Some(m) = &self.metrics {
+            m.parallel_batches.inc();
         }
 
         let workers = self

@@ -41,6 +41,7 @@ pub mod fetch;
 pub mod iter;
 pub mod maintenance;
 pub mod meta;
+pub mod metrics;
 pub mod options;
 pub mod partition;
 pub mod resolver;
@@ -49,13 +50,18 @@ pub mod verify;
 
 pub use batch::WriteBatch;
 pub use db::{UniKv, UniKvStats};
-pub use fetch::FetchPool;
+pub use fetch::{FetchMetrics, FetchPool};
 pub use iter::UniKvIterator;
 pub use maintenance::{
     backoff_delay_ms, HealthReport, HealthState, Job, JobKind, MaintClock, QuarantinedJob,
     SyncPointHook, SyncPoints, SYNC_POINTS,
 };
+pub use metrics::DbMetrics;
 pub use options::UniKvOptions;
 pub use router::{SizeRouter, SizeRouterOptions};
+pub use unikv_common::metrics::{
+    manual_step_clock, MetricsClock, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceOp,
+    TraceOutcome,
+};
 pub use unikv_lsm::db::ScanItem;
 pub use verify::{verify_db, FileDamage, VerifyReport};

@@ -857,6 +857,7 @@ pub(crate) fn worker_loop(inner: Arc<DbInner>) {
             .stats
             .maint_queue_depth
             .store(depth as u64, Ordering::Relaxed);
+        inner.metrics.maint_queue_depth.set(depth as u64);
         // Reset the commit-step marker so a stale flag from a previous
         // job on this thread cannot misclassify this one's failure.
         let _ = crate::db::take_commit_failure();

@@ -91,6 +91,15 @@ pub struct UniKvOptions {
     /// are detached (they exit on their own once their current job ends).
     pub shutdown_join_timeout_ms: u64,
 
+    // ---- Observability ----
+    /// Record metrics (latency histograms, tier-resolution counters,
+    /// subsystem I/O counters) and trace events. When `false`, every
+    /// record path is one relaxed atomic load and nothing is allocated.
+    pub enable_metrics: bool,
+    /// Capacity of the in-memory op-trace ring (`0` disables tracing;
+    /// oldest events are dropped once full).
+    pub metrics_trace_events: usize,
+
     // ---- Ablation switches (experiments E7–E10) ----
     /// E7: disable the hash index; UnsortedStore lookups scan tables
     /// newest-first instead.
@@ -137,6 +146,8 @@ impl Default for UniKvOptions {
             maint_quarantine_probe_ms: 10_000,
             maint_retry_jitter_seed: 0x5eed_u64,
             shutdown_join_timeout_ms: 5000,
+            enable_metrics: true,
+            metrics_trace_events: 1024,
             enable_hash_index: true,
             enable_kv_separation: true,
             enable_partitioning: true,

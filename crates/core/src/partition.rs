@@ -161,9 +161,19 @@ impl Partition {
 /// optional shared block cache; **no Bloom filters** — the paper removes
 /// them, the hash index and sorted-run boundary search replace them).
 pub fn table_options(cache: Option<Arc<BlockCache>>) -> TableOptions {
+    table_options_with_io(cache, None)
+}
+
+/// [`table_options`] plus registry-backed table I/O counters (block
+/// reads, cache hit/miss) — the database passes its metrics bundle here.
+pub fn table_options_with_io(
+    cache: Option<Arc<BlockCache>>,
+    io: Option<unikv_sstable::TableIoMetrics>,
+) -> TableOptions {
     TableOptions {
         cmp: compare_internal_keys,
         cache,
+        io,
     }
 }
 

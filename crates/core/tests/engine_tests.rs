@@ -96,6 +96,26 @@ fn model_check_random_workload() {
             assert_eq!(&g.value, ev);
         }
     }
+
+    // Metrics invariants: the tier-resolution counters partition `reads`
+    // exactly, histogram sample counts equal op counts, and the op-trace
+    // ring never exceeds its configured bound.
+    let snap = db.metrics_snapshot();
+    assert_eq!(snap.counters["writes"], 6000);
+    assert_eq!(snap.histograms["put_latency_us"].count, 6000);
+    assert_eq!(snap.counters["reads"], 700);
+    assert_eq!(snap.histograms["get_latency_us"].count, 700);
+    assert_eq!(snap.counters["scans"], 4);
+    assert_eq!(snap.histograms["scan_latency_us"].count, 4);
+    assert_eq!(
+        snap.counters["reads"],
+        snap.counters["reads_hit_memtable"]
+            + snap.counters["reads_hit_unsorted"]
+            + snap.counters["reads_hit_sorted"]
+            + snap.counters["reads_miss"]
+    );
+    let trace = db.metrics().registry.trace();
+    assert!(trace.len() <= trace.capacity());
 }
 
 #[test]

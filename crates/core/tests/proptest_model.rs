@@ -42,20 +42,24 @@ fn check(ops: &[ModelOp], opts: UniKvOptions) {
     let env = MemEnv::shared();
     let db = UniKv::open(env.clone(), "/db", opts.clone()).unwrap();
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let (mut mutations, mut scans) = (0u64, 0u64);
     for op in ops {
         match op {
             ModelOp::Put(k, v) => {
                 db.put(&key(*k), &value(*k, *v)).unwrap();
                 model.insert(key(*k), value(*k, *v));
+                mutations += 1;
             }
             ModelOp::Delete(k) => {
                 db.delete(&key(*k)).unwrap();
                 model.remove(&key(*k));
+                mutations += 1;
             }
             ModelOp::Flush => db.flush().unwrap(),
             ModelOp::Compact => db.compact_all().unwrap(),
             ModelOp::Gc => db.force_gc().unwrap(),
             ModelOp::Scan(k, n) => {
+                scans += 1;
                 let got = db.scan(&key(*k), *n as usize).unwrap();
                 let expect: Vec<(Vec<u8>, Vec<u8>)> = model
                     .range(key(*k)..)
@@ -70,6 +74,10 @@ fn check(ops: &[ModelOp], opts: UniKvOptions) {
             }
         }
     }
+    // Stats counters must never regress: snapshot here, compare after the
+    // read-only audit below (which may trigger no maintenance at all).
+    let stats_before: BTreeMap<&str, u64> = db.stats().snapshot().into_iter().collect();
+
     // Final audit: every key agrees, reads and scans.
     for k in 0..200u16 {
         assert_eq!(
@@ -80,6 +88,35 @@ fn check(ops: &[ModelOp], opts: UniKvOptions) {
     }
     let all = db.scan(b"", 1000).unwrap();
     assert_eq!(all.len(), model.len());
+
+    let stats_after: BTreeMap<&str, u64> = db.stats().snapshot().into_iter().collect();
+    for (name, before) in &stats_before {
+        assert!(
+            stats_after[name] >= *before,
+            "stats counter {name} regressed: {before} -> {}",
+            stats_after[name]
+        );
+    }
+
+    // Metrics invariants hold for every generated op sequence and every
+    // ablation combination: tier counters partition `reads`, histogram
+    // counts equal op counts, and the trace ring respects its bound.
+    let snap = db.metrics_snapshot();
+    assert_eq!(snap.counters["writes"], mutations);
+    assert_eq!(snap.histograms["put_latency_us"].count, mutations);
+    assert_eq!(snap.counters["reads"], 200);
+    assert_eq!(snap.histograms["get_latency_us"].count, 200);
+    assert_eq!(snap.counters["scans"], scans + 1);
+    assert_eq!(snap.histograms["scan_latency_us"].count, scans + 1);
+    assert_eq!(
+        snap.counters["reads"],
+        snap.counters["reads_hit_memtable"]
+            + snap.counters["reads_hit_unsorted"]
+            + snap.counters["reads_hit_sorted"]
+            + snap.counters["reads_miss"]
+    );
+    let trace = db.metrics().registry.trace();
+    assert!(trace.len() <= trace.capacity());
 
     // Reopen and audit again (recovery path).
     drop(db);

@@ -29,9 +29,25 @@ impl IoCounters {
     }
 
     /// Reset both counters.
+    ///
+    /// Note: `bytes_read()` / `bytes_written()` followed by `reset()` is
+    /// racy — bytes accounted by concurrent I/O between the read and the
+    /// store are silently lost. Phase-boundary accounting (e.g. the
+    /// amplification experiment) must use [`IoCounters::snapshot_and_reset`]
+    /// instead.
     pub fn reset(&self) {
         self.read.store(0, Ordering::Relaxed);
         self.written.store(0, Ordering::Relaxed);
+    }
+
+    /// Atomically take `(bytes_read, bytes_written)` and zero the
+    /// counters, so no concurrent increment is ever dropped: every byte
+    /// lands either in the returned snapshot or in the next one.
+    pub fn snapshot_and_reset(&self) -> (u64, u64) {
+        (
+            self.read.swap(0, Ordering::AcqRel),
+            self.written.swap(0, Ordering::AcqRel),
+        )
     }
 }
 
@@ -181,6 +197,38 @@ mod tests {
 
         counters.reset();
         assert_eq!(counters.bytes_read(), 0);
+        assert_eq!(counters.bytes_written(), 0);
+    }
+
+    /// Two threads: one keeps writing through the env, the other keeps
+    /// draining the counters with `snapshot_and_reset`. Every byte must
+    /// land in exactly one snapshot (or the final residue) — the old
+    /// `bytes_written()`-then-`reset()` pattern loses bytes here.
+    #[test]
+    fn snapshot_and_reset_loses_nothing_under_concurrency() {
+        let env = CountingEnv::new(MemEnv::shared());
+        let counters = env.counters();
+        const WRITES: u64 = 20_000;
+        const CHUNK: u64 = 7;
+
+        let writer = {
+            let env = env.clone();
+            std::thread::spawn(move || {
+                let mut w = env.new_writable(Path::new("/race")).unwrap();
+                for _ in 0..WRITES {
+                    w.append(&[0u8; CHUNK as usize]).unwrap();
+                }
+            })
+        };
+
+        let mut drained = 0u64;
+        while !writer.is_finished() {
+            drained += counters.snapshot_and_reset().1;
+        }
+        writer.join().unwrap();
+        drained += counters.snapshot_and_reset().1;
+
+        assert_eq!(drained, WRITES * CHUNK);
         assert_eq!(counters.bytes_written(), 0);
     }
 

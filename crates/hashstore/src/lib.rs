@@ -20,6 +20,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use unikv_common::coding::{get_varint32, put_varint32, try_decode_fixed64};
 use unikv_common::hash::hash64;
+use unikv_common::metrics::{EngineMetrics, MetricsRegistry, TraceOutcome};
 use unikv_common::{Error, Result};
 use unikv_env::{Env, RandomAccessFile, WritableFile};
 
@@ -65,6 +66,8 @@ pub struct HashStore {
     opts: HashStoreOptions,
     inner: Mutex<Inner>,
     reader: Mutex<Option<Arc<dyn RandomAccessFile>>>,
+    metrics: Arc<MetricsRegistry>,
+    eng: EngineMetrics,
 }
 
 impl HashStore {
@@ -78,6 +81,9 @@ impl HashStore {
         env.create_dir_all(&dir)?;
         let path = dir.join("data.log");
         let writer = env.new_writable(&path)?;
+        // Always-on registry with no trace ring: the baseline records the
+        // standard cross-engine families but keeps its hot path mutex-free.
+        let metrics = MetricsRegistry::new(true, 0);
         Ok(HashStore {
             env,
             path,
@@ -88,6 +94,8 @@ impl HashStore {
             }),
             opts,
             reader: Mutex::new(None),
+            eng: EngineMetrics::new(&metrics),
+            metrics,
         })
     }
 
@@ -125,17 +133,21 @@ impl HashStore {
         let mut writer = env.new_writable(&path)?;
         writer.append(&data[..pos])?;
         writer.sync()?;
+        let metrics = MetricsRegistry::new(true, 0);
         Ok(HashStore {
             env,
             path,
             inner: Mutex::new(Inner { writer, heads, len }),
             opts,
             reader: Mutex::new(None),
+            eng: EngineMetrics::new(&metrics),
+            metrics,
         })
     }
 
     /// Insert or update `key`.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let t0 = self.metrics.now_micros();
         let mut inner = self.inner.lock();
         let b = (hash64(key, BUCKET_SEED) % inner.heads.len() as u64) as usize;
         let offset = inner.writer.len();
@@ -151,6 +163,10 @@ impl HashStore {
         }
         inner.heads[b] = offset + 1;
         inner.len += 1;
+        drop(inner);
+        let t1 = self.metrics.now_micros();
+        self.eng.writes.inc();
+        self.eng.put_latency.record(t1.saturating_sub(t0));
         Ok(())
     }
 
@@ -168,6 +184,23 @@ impl HashStore {
     /// the number of log records visited alongside the value, so the
     /// motivation experiment can report read amplification directly.
     pub fn get_traced(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, u64)> {
+        let t0 = self.metrics.now_micros();
+        let r = self.get_traced_impl(key);
+        let t1 = self.metrics.now_micros();
+        self.eng.get_latency.record(t1.saturating_sub(t0));
+        if let Ok((value, _)) = &r {
+            // Single-tier store: a hit resolves in the hash-indexed tier
+            // (the analogue of UniKV's UnsortedStore-hash outcome).
+            self.eng.record_read(if value.is_some() {
+                TraceOutcome::Unsorted
+            } else {
+                TraceOutcome::Miss
+            });
+        }
+        r
+    }
+
+    fn get_traced_impl(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, u64)> {
         let head = {
             let mut inner = self.inner.lock();
             inner.writer.flush()?;
@@ -220,6 +253,16 @@ impl HashStore {
     /// In-memory index bytes (bucket heads).
     pub fn index_memory_bytes(&self) -> usize {
         self.opts.num_buckets * std::mem::size_of::<u64>()
+    }
+
+    /// The store's metrics registry (standard cross-engine families).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Human-readable metrics report.
+    pub fn metrics_report(&self) -> String {
+        self.metrics.render_text()
     }
 
     /// Range scans are not supported by hash indexing — this is the

@@ -24,6 +24,7 @@ use unikv_common::ikey::{
     compare_internal_keys, extract_seq_type, extract_user_key, make_internal_key, SequenceNumber,
     ValueType, MAX_SEQUENCE_NUMBER,
 };
+use unikv_common::metrics::{EngineMetrics, MetricsRegistry, TraceOutcome};
 use unikv_common::{Error, Result};
 use unikv_env::Env;
 use unikv_memtable::{LookupResult, MemTable};
@@ -105,6 +106,8 @@ pub struct LsmDb {
     state: Mutex<DbState>,
     tables: TableCache,
     stats: Arc<EngineStats>,
+    metrics: Arc<MetricsRegistry>,
+    eng: EngineMetrics,
 }
 
 impl LsmDb {
@@ -117,9 +120,15 @@ impl LsmDb {
         } else {
             None
         };
+        // Baselines report through the same standard metric families as
+        // UniKV so cross-engine runs are directly comparable. No trace
+        // ring: the baseline's hot path stays mutex-free outside `state`.
+        let metrics = MetricsRegistry::new(true, 0);
+        let eng = EngineMetrics::new(&metrics);
         let topts = TableOptions {
             cmp: compare_internal_keys,
             cache: block_cache,
+            io: Some(unikv_sstable::TableIoMetrics::new(&metrics)),
         };
         let tables = TableCache::new(env.clone(), dir.clone(), topts);
 
@@ -247,6 +256,8 @@ impl LsmDb {
             }),
             tables,
             stats,
+            metrics,
+            eng,
         };
 
         // Remove files that no version references (old WALs, orphan tables,
@@ -297,6 +308,16 @@ impl LsmDb {
         &self.stats
     }
 
+    /// The metrics registry (standard engine families + table I/O).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Human-readable metrics report.
+    pub fn metrics_report(&self) -> String {
+        self.metrics.render_text()
+    }
+
     /// Options this database was opened with.
     pub fn options(&self) -> &LsmOptions {
         &self.opts
@@ -344,6 +365,7 @@ impl LsmDb {
     }
 
     fn write(&self, key: &[u8], value: &[u8], t: ValueType) -> Result<()> {
+        let t0 = self.metrics.now_micros();
         let mut st = self.state.lock();
         let seq = st.last_seq + 1;
         st.last_seq = seq;
@@ -365,6 +387,10 @@ impl LsmDb {
             // do in LevelDB.
             self.maybe_compact(&mut st, 2)?;
         }
+        self.eng.writes.inc();
+        self.eng
+            .put_latency
+            .record(self.metrics.now_micros().saturating_sub(t0));
         Ok(())
     }
 
@@ -413,6 +439,7 @@ impl LsmDb {
         if imm.is_empty() {
             return Ok(());
         }
+        let t0 = self.metrics.now_micros();
         st.wal.sync()?;
         let old_wal = st.wal_number;
         let new_wal = Self::alloc_file(st);
@@ -468,6 +495,9 @@ impl LsmDb {
         self.log_edit(st, &edit)?;
         self.env
             .delete_file(&filenames::wal_file(&self.dir, old_wal))?;
+        self.eng
+            .flush_latency
+            .record(self.metrics.now_micros().saturating_sub(t0));
         Ok(())
     }
 
@@ -494,6 +524,7 @@ impl LsmDb {
         st: &mut DbState,
         job: crate::compaction::CompactionJob,
     ) -> Result<()> {
+        let t0 = self.metrics.now_micros();
         let output_level = job.level + 1;
         let input_bytes = job.input_bytes();
         let all_inputs: Vec<Arc<FileMetaData>> = job
@@ -578,11 +609,26 @@ impl LsmDb {
             self.env
                 .delete_file(&filenames::table_file(&self.dir, f.number))?;
         }
+        self.eng
+            .merge_latency
+            .record(self.metrics.now_micros().saturating_sub(t0));
         Ok(())
     }
 
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let t0 = self.metrics.now_micros();
+        let (value, outcome) = self.get_impl(key)?;
+        self.eng.record_read(outcome);
+        self.eng
+            .get_latency
+            .record(self.metrics.now_micros().saturating_sub(t0));
+        Ok(value)
+    }
+
+    /// Lookup body; returns the answer plus the tier that resolved it
+    /// (the baseline has two tiers: memtable and sorted tables).
+    fn get_impl(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, TraceOutcome)> {
         let (mem, version, snapshot) = {
             let st = self.state.lock();
             (st.mem.clone(), st.version.clone(), st.last_seq)
@@ -590,11 +636,11 @@ impl LsmDb {
         match mem.get(key, snapshot) {
             LookupResult::Value(v) => {
                 EngineStats::add(&self.stats.memtable_hits, 1);
-                return Ok(Some(v));
+                return Ok((Some(v), TraceOutcome::Memtable));
             }
             LookupResult::Deleted => {
                 EngineStats::add(&self.stats.memtable_hits, 1);
-                return Ok(None);
+                return Ok((None, TraceOutcome::Memtable));
             }
             LookupResult::NotFound => {}
         }
@@ -611,7 +657,7 @@ impl LsmDb {
                         continue;
                     }
                     if let Some(found) = self.search_table(f, &seek_key, key)? {
-                        return Ok(found);
+                        return Ok((found, TraceOutcome::Sorted));
                     }
                 }
             } else {
@@ -619,12 +665,12 @@ impl LsmDb {
                 let idx = files.partition_point(|f| extract_user_key(&f.largest) < key);
                 if idx < files.len() && files[idx].may_contain_user_key(key) {
                     if let Some(found) = self.search_table(&files[idx], &seek_key, key)? {
-                        return Ok(found);
+                        return Ok((found, TraceOutcome::Sorted));
                     }
                 }
             }
         }
-        Ok(None)
+        Ok((None, TraceOutcome::Miss))
     }
 
     /// Search one table for the newest visible version of `user_key`.
@@ -672,11 +718,18 @@ impl LsmDb {
                 return Ok(Vec::new());
             }
         }
+        let t0 = self.metrics.now_micros();
         let mut iter = self.internal_scan_iter()?;
         let snapshot = self.state.lock().last_seq;
         let seek = make_internal_key(from, snapshot, ValueType::Value);
         iter.seek(&seek)?;
-        collect_scan_bounded(&mut iter, snapshot, limit, end)
+        let items = collect_scan_bounded(&mut iter, snapshot, limit, end)?;
+        self.eng.scans.inc();
+        self.eng.scan_items.add(items.len() as u64);
+        self.eng
+            .scan_latency
+            .record(self.metrics.now_micros().saturating_sub(t0));
+        Ok(items)
     }
 
     /// Build a merging iterator over the entire store (memtable + all

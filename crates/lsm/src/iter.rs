@@ -332,6 +332,7 @@ mod tests {
             TableOptions {
                 cmp: unikv_common::ikey::compare_internal_keys,
                 cache: None,
+                io: None,
             },
         )
         .unwrap();

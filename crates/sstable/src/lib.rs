@@ -29,7 +29,7 @@ pub use builder::{TableBuilder, TableBuilderOptions};
 pub use cache::BlockCache;
 pub use filter::BloomFilterPolicy;
 pub use format::BlockHandle;
-pub use reader::{Table, TableIterator, TableOptions};
+pub use reader::{Table, TableIoMetrics, TableIterator, TableOptions};
 
 use std::cmp::Ordering;
 

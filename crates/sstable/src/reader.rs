@@ -7,8 +7,35 @@ use crate::filter::BloomFilterPolicy;
 use crate::format::{read_block_payload, BlockHandle, Footer, FOOTER_SIZE};
 use crate::KeyCmp;
 use std::sync::Arc;
+use unikv_common::metrics::Counter;
 use unikv_common::{Error, Result};
 use unikv_env::RandomAccessFile;
+
+/// Registry-backed I/O counters shared by every table opened with the
+/// same [`TableOptions`] (typically one bundle per database).
+#[derive(Clone)]
+pub struct TableIoMetrics {
+    /// Data blocks read from the file (cache misses + uncached reads).
+    pub block_reads: Counter,
+    /// Bytes of data-block payload read from the file.
+    pub block_read_bytes: Counter,
+    /// Data-block lookups answered by the block cache.
+    pub cache_hits: Counter,
+    /// Data-block lookups that missed the block cache.
+    pub cache_misses: Counter,
+}
+
+impl TableIoMetrics {
+    /// Register the table I/O families in `registry`.
+    pub fn new(registry: &unikv_common::metrics::MetricsRegistry) -> TableIoMetrics {
+        TableIoMetrics {
+            block_reads: registry.counter("sst_block_reads"),
+            block_read_bytes: registry.counter("sst_block_read_bytes"),
+            cache_hits: registry.counter("sst_cache_hits"),
+            cache_misses: registry.counter("sst_cache_misses"),
+        }
+    }
+}
 
 /// Options for opening a table.
 #[derive(Clone)]
@@ -17,6 +44,8 @@ pub struct TableOptions {
     pub cmp: KeyCmp,
     /// Shared block cache; `None` reads blocks from the file every time.
     pub cache: Option<Arc<BlockCache>>,
+    /// Optional per-database I/O counters (cache hit/miss, block reads).
+    pub io: Option<TableIoMetrics>,
 }
 
 impl TableOptions {
@@ -25,6 +54,7 @@ impl TableOptions {
         TableOptions {
             cmp: crate::raw_cmp,
             cache: None,
+            io: None,
         }
     }
 }
@@ -83,12 +113,24 @@ impl Table {
     fn read_data_block(&self, handle: &BlockHandle) -> Result<Arc<Block>> {
         if let Some(cache) = &self.opts.cache {
             if let Some(block) = cache.get(self.cache_id, handle.offset) {
+                if let Some(io) = &self.opts.io {
+                    io.cache_hits.inc();
+                }
                 return Ok(block);
+            }
+            if let Some(io) = &self.opts.io {
+                io.cache_misses.inc();
+                io.block_reads.inc();
+                io.block_read_bytes.add(handle.size);
             }
             let block = Arc::new(Block::new(read_block_payload(self.file.as_ref(), handle)?)?);
             cache.insert(self.cache_id, handle.offset, block.clone());
             Ok(block)
         } else {
+            if let Some(io) = &self.opts.io {
+                io.block_reads.inc();
+                io.block_read_bytes.add(handle.size);
+            }
             Ok(Arc::new(Block::new(read_block_payload(
                 self.file.as_ref(),
                 handle,
@@ -389,6 +431,7 @@ mod tests {
             TableOptions {
                 cmp: crate::raw_cmp,
                 cache: Some(cache.clone()),
+                io: None,
             },
         )
         .unwrap();

@@ -32,6 +32,7 @@ fn build(entries: &BTreeMap<Vec<u8>, Vec<u8>>, block_size: usize, bloom: bool) -
         TableOptions {
             cmp: compare_internal_keys,
             cache: None,
+            io: None,
         },
     )
     .unwrap()
@@ -74,7 +75,7 @@ proptest! {
         let table = Table::open(
             env.new_random_access(path).unwrap(),
             props.file_size,
-            TableOptions { cmp: compare_internal_keys, cache: None },
+            TableOptions { cmp: compare_internal_keys, cache: None, io: None },
         ).unwrap();
 
         // Full iteration preserves order and contents.

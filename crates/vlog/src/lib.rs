@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use unikv_common::coding::{get_varint32, put_varint32, varint64_length};
+use unikv_common::metrics::Counter;
 use unikv_common::{crc32c, Error, Result, ValuePointer};
 use unikv_env::{Env, RandomAccessFile, WritableFile};
 
@@ -119,6 +120,29 @@ pub struct ValueLog {
     /// Size per sealed/active log file.
     sizes: HashMap<u64, u64>,
     readers: Mutex<HashMap<u64, Arc<dyn RandomAccessFile>>>,
+    metrics: Option<VlogMetrics>,
+}
+
+/// Registry-backed value-log counters, shared by every partition's log.
+#[derive(Clone)]
+pub struct VlogMetrics {
+    /// Values appended.
+    pub appends: Counter,
+    /// Value payload bytes appended (excludes length prefix and CRC).
+    pub append_bytes: Counter,
+    /// Log-file rotations.
+    pub rotations: Counter,
+}
+
+impl VlogMetrics {
+    /// Register the value-log families in `registry`.
+    pub fn new(registry: &unikv_common::metrics::MetricsRegistry) -> VlogMetrics {
+        VlogMetrics {
+            appends: registry.counter("vlog_appends"),
+            append_bytes: registry.counter("vlog_append_bytes"),
+            rotations: registry.counter("vlog_rotations"),
+        }
+    }
 }
 
 impl ValueLog {
@@ -149,7 +173,13 @@ impl ValueLog {
             next_number,
             sizes,
             readers: Mutex::new(HashMap::new()),
+            metrics: None,
         })
+    }
+
+    /// Attach value-log counters (builder-style; tests skip it).
+    pub fn set_metrics(&mut self, metrics: VlogMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Partition id stamped into pointers.
@@ -173,6 +203,9 @@ impl ValueLog {
         let file = self.env.new_writable(&self.log_path(number))?;
         self.sizes.insert(number, 0);
         self.active = Some(ActiveLog { number, file });
+        if let Some(m) = &self.metrics {
+            m.rotations.inc();
+        }
         Ok(number)
     }
 
@@ -194,6 +227,10 @@ impl ValueLog {
         buf.extend_from_slice(&crc32c::mask(crc32c::value(value)).to_le_bytes());
         active.file.append(&buf)?;
         *self.sizes.get_mut(&active.number).expect("tracked") = active.file.len();
+        if let Some(m) = &self.metrics {
+            m.appends.inc();
+            m.append_bytes.add(value.len() as u64);
+        }
         // Invalidate any cached reader snapshot for the active log so reads
         // opened before this append still see it (MemEnv shares state, but
         // FsEnv readers see appended data too; cache stays valid).

@@ -17,7 +17,7 @@ pub mod reader;
 pub mod writer;
 
 pub use reader::{LogReader, ReadOutcome};
-pub use writer::LogWriter;
+pub use writer::{LogWriter, WalMetrics};
 
 /// Size of a log block.
 pub const BLOCK_SIZE: usize = 32 * 1024;

@@ -1,14 +1,38 @@
 //! Log writer: fragments records across 32 KiB blocks.
 
 use crate::{RecordType, BLOCK_SIZE, HEADER_SIZE};
+use unikv_common::metrics::Counter;
 use unikv_common::{crc32c, Result};
 use unikv_env::WritableFile;
+
+/// Registry-backed WAL counters, shared by every log writer of a database.
+#[derive(Clone)]
+pub struct WalMetrics {
+    /// Records appended (before fragmenting).
+    pub records: Counter,
+    /// Payload bytes appended (excludes headers and block padding).
+    pub record_bytes: Counter,
+    /// Durable syncs issued.
+    pub syncs: Counter,
+}
+
+impl WalMetrics {
+    /// Register the WAL families in `registry`.
+    pub fn new(registry: &unikv_common::metrics::MetricsRegistry) -> WalMetrics {
+        WalMetrics {
+            records: registry.counter("wal_records"),
+            record_bytes: registry.counter("wal_record_bytes"),
+            syncs: registry.counter("wal_syncs"),
+        }
+    }
+}
 
 /// Appends records to a log file.
 pub struct LogWriter {
     file: Box<dyn WritableFile>,
     /// Offset within the current block.
     block_offset: usize,
+    metrics: Option<WalMetrics>,
 }
 
 impl LogWriter {
@@ -17,6 +41,7 @@ impl LogWriter {
         LogWriter {
             file,
             block_offset: 0,
+            metrics: None,
         }
     }
 
@@ -26,11 +51,22 @@ impl LogWriter {
         LogWriter {
             file,
             block_offset: (existing_len % BLOCK_SIZE as u64) as usize,
+            metrics: None,
         }
+    }
+
+    /// Attach WAL counters (builder-style; recovery/test writers skip it).
+    pub fn with_metrics(mut self, metrics: WalMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Append one record, fragmenting as needed.
     pub fn add_record(&mut self, record: &[u8]) -> Result<()> {
+        if let Some(m) = &self.metrics {
+            m.records.inc();
+            m.record_bytes.add(record.len() as u64);
+        }
         let mut remaining = record;
         let mut begin = true;
         loop {
@@ -83,6 +119,9 @@ impl LogWriter {
 
     /// Durably sync all records written so far.
     pub fn sync(&mut self) -> Result<()> {
+        if let Some(m) = &self.metrics {
+            m.syncs.inc();
+        }
         self.file.sync()
     }
 

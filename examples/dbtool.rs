@@ -8,6 +8,7 @@
 //! cargo run --release --example dbtool -- <dir> del k
 //! cargo run --release --example dbtool -- <dir> scan <from> [limit]
 //! cargo run --release --example dbtool -- <dir> stats
+//! cargo run --release --example dbtool -- <dir> metrics [--machine]
 //! cargo run --release --example dbtool -- <dir> status
 //! cargo run --release --example dbtool -- <dir> compact
 //! cargo run --release --example dbtool -- <dir> gc
@@ -21,9 +22,8 @@ use unikv_env::fs::FsEnv;
 
 fn usage() -> ! {
     eprintln!("usage: dbtool <dir> <put k v | get k | del k | scan from [limit] |");
-    eprintln!(
-        "                      stats | status | compact | gc | fill n [value_size] | verify>"
-    );
+    eprintln!("                      stats | metrics [--machine] | status | compact | gc |");
+    eprintln!("                      fill n [value_size] | verify>");
     std::process::exit(2);
 }
 
@@ -93,6 +93,16 @@ fn main() -> unikv_common::Result<()> {
                 "write amplification: {:.2}",
                 db.stats().write_amplification()
             );
+        }
+        ("metrics", rest) if rest.is_empty() || rest == ["--machine"] => {
+            // Latency histograms, per-tier read counters, subsystem I/O
+            // counters, and the tail of the op trace. `--machine` emits
+            // the stable tab-separated form for scripts.
+            if rest.is_empty() {
+                print!("{}", db.metrics_report());
+            } else {
+                print!("{}", db.metrics_report_machine());
+            }
         }
         ("status", []) => {
             // Operator health check: state machine position, what is being

@@ -5,8 +5,13 @@
 //! differ (merges vs compactions, write amp, stalls).
 //!
 //! ```sh
-//! cargo run --release --example mixed_workload [-- <num_keys> <num_ops>]
+//! cargo run --release --example mixed_workload [-- <num_keys> <num_ops> [--metrics]]
 //! ```
+//!
+//! With `--metrics`, each engine also prints its unified metrics report
+//! after the load and mixed phases (reset between phases), and the run
+//! fails if the report is missing any registered metric family — the CI
+//! smoke check for the observability layer.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -16,9 +21,22 @@ use unikv_lsm::{Baseline, LsmDb, LsmOptions};
 use unikv_workload::{format_key, make_value, MixedWorkload, Op};
 
 fn main() -> unikv_common::Result<()> {
-    let mut args = std::env::args().skip(1);
-    let num_keys: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(50_000);
-    let num_ops: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let (mut positional, mut show_metrics) = (Vec::new(), false);
+    for a in std::env::args().skip(1) {
+        if a == "--metrics" {
+            show_metrics = true;
+        } else {
+            positional.push(a);
+        }
+    }
+    let num_keys: u64 = positional
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50_000);
+    let num_ops: u64 = positional
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50_000);
     let value_size = 256usize;
 
     println!(
@@ -38,11 +56,28 @@ fn main() -> unikv_common::Result<()> {
         ..Default::default()
     };
     let unikv = UniKv::open(env.clone(), dir.join("unikv"), scaled_opts.clone())?;
-    run("UniKV", num_keys, num_ops, value_size, |op, i| match op {
-        Op::Read(k) => unikv.get(&k).map(|_| ()),
-        Op::Update(k) => unikv.put(&k, &make_value(i, 1, value_size)),
-        _ => Ok(()),
-    })?;
+    run(
+        "UniKV",
+        num_keys,
+        num_ops,
+        value_size,
+        |op, i| match op {
+            Op::Read(k) => unikv.get(&k).map(|_| ()),
+            Op::Update(k) => unikv.put(&k, &make_value(i, 1, value_size)),
+            _ => Ok(()),
+        },
+        |phase| {
+            if show_metrics {
+                dump_phase("UniKV", phase, &unikv.metrics_report());
+                if phase == "load" {
+                    unikv.reset_metrics(); // isolate the mixed-phase numbers
+                }
+            }
+        },
+    )?;
+    if show_metrics {
+        check_report_complete(&unikv)?;
+    }
     println!(
         "  write amp {:.2}, partitions {}, index {:.1} KiB",
         unikv.stats().write_amplification(),
@@ -67,6 +102,11 @@ fn main() -> unikv_common::Result<()> {
             Op::Read(k) => unikv_bg.get(&k).map(|_| ()),
             Op::Update(k) => unikv_bg.put(&k, &make_value(i, 1, value_size)),
             _ => Ok(()),
+        },
+        |phase| {
+            if show_metrics {
+                dump_phase("UniKV (bg)", phase, &unikv_bg.metrics_report());
+            }
         },
     )?;
     unikv_bg.wait_for_background();
@@ -115,6 +155,11 @@ fn main() -> unikv_common::Result<()> {
             Op::Update(k) => leveldb.put(&k, &make_value(i, 1, value_size)),
             _ => Ok(()),
         },
+        |phase| {
+            if show_metrics && phase == "mixed" {
+                dump_phase("LevelDB-like", phase, &leveldb.metrics_report());
+            }
+        },
     )?;
     println!(
         "  write amp {:.2}, compactions {}",
@@ -135,6 +180,7 @@ fn run(
     num_ops: u64,
     value_size: usize,
     mut apply: impl FnMut(Op, u64) -> unikv_common::Result<()>,
+    mut on_phase: impl FnMut(&str),
 ) -> unikv_common::Result<()> {
     // Load phase.
     let start = Instant::now();
@@ -142,6 +188,7 @@ fn run(
         apply(Op::Update(format_key(i)), i)?;
     }
     let load = start.elapsed().as_secs_f64();
+    on_phase("load");
 
     // Mixed phase: 50% reads / 50% updates, zipfian.
     let mut w = MixedWorkload::new(0.5, num_keys, false, 42);
@@ -150,6 +197,7 @@ fn run(
         apply(w.next_op(), i)?;
     }
     let mixed = start.elapsed().as_secs_f64();
+    on_phase("mixed");
 
     let load_mb = (num_keys as usize * value_size) as f64 / (1 << 20) as f64;
     println!(
@@ -158,5 +206,30 @@ fn run(
         load_mb / load,
         num_ops as f64 / mixed / 1000.0
     );
+    Ok(())
+}
+
+fn dump_phase(engine: &str, phase: &str, report: &str) {
+    println!("---- {engine} metrics after {phase} phase ----");
+    print!("{report}");
+}
+
+/// CI smoke check: the machine report must contain a line for every
+/// family registered in the database's registry.
+fn check_report_complete(db: &UniKv) -> unikv_common::Result<()> {
+    let report = db.metrics_report_machine();
+    let mut missing = Vec::new();
+    for family in db.metrics().registry.family_names() {
+        if !report
+            .lines()
+            .any(|l| l.split('\t').nth(1) == Some(family.as_str()))
+        {
+            missing.push(family);
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!("metrics report is missing families: {missing:?}");
+        std::process::exit(1);
+    }
     Ok(())
 }
