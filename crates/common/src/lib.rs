@@ -12,10 +12,12 @@
 pub mod coding;
 pub mod crc32c;
 pub mod error;
+pub mod events;
 pub mod hash;
 pub mod ikey;
 pub mod keyrange;
 pub mod metrics;
+pub mod perf;
 pub mod pointer;
 pub mod rng;
 

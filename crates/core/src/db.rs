@@ -23,6 +23,7 @@
 
 use crate::batch::{decode_batch_record, encode_batch_record, WriteBatch};
 use crate::fetch::FetchPool;
+use crate::journal::EventJournal;
 use crate::maintenance::{
     stall_level, worker_loop, HealthReport, HealthState, Job, JobKind, MaintClock, MaintState,
     RetryConfig, StallLevel, SyncPoints,
@@ -36,15 +37,17 @@ use crate::partition::{
 };
 use crate::resolver::{partition_dir, ValueResolver};
 use parking_lot::RwLock;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use unikv_common::events::{EventBus, EventClock, EventKind, EventListener};
 use unikv_common::ikey::{
     extract_seq_type, extract_user_key, make_internal_key, SequenceNumber, ValueType,
 };
 use unikv_common::metrics::{MetricsClock, MetricsSnapshot, TraceEvent, TraceOp, TraceOutcome};
+use unikv_common::perf::{self, PerfContext, PerfStage};
 use unikv_common::pointer::SeparatedValue;
 use unikv_common::{Error, Result};
 use unikv_env::Env;
@@ -70,6 +73,71 @@ thread_local! {
 /// Take (and clear) the current thread's commit-failure marker.
 pub(crate) fn take_commit_failure() -> bool {
     COMMIT_FAILED.with(|c| c.replace(false))
+}
+
+/// Scope guard pairing a structural op's `*Start` event with exactly one
+/// terminal event: [`OpScope::finish`] publishes the `*Finish` and disarms
+/// the guard; any other exit — a `?` early return on a build or commit
+/// error, an injected sync-point fault, a panic — publishes the `*Abort`
+/// on drop. Every terminal event's `cause` is the op's own start seq, so
+/// causal chains stay connected even through failures.
+struct OpScope<'a> {
+    bus: &'a EventBus,
+    abort: EventKind,
+    partition: u32,
+    start_seq: u64,
+    done: bool,
+}
+
+impl<'a> OpScope<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn begin(
+        bus: &'a EventBus,
+        start: EventKind,
+        abort: EventKind,
+        partition: u32,
+        cause: Option<u64>,
+        inputs: Vec<u64>,
+        bytes: u64,
+    ) -> OpScope<'a> {
+        let start_seq = bus.publish(start, partition, cause, inputs, vec![], bytes, "");
+        OpScope {
+            bus,
+            abort,
+            partition,
+            start_seq,
+            done: false,
+        }
+    }
+
+    fn finish(mut self, kind: EventKind, outputs: Vec<u64>, bytes: u64, detail: &str) -> u64 {
+        self.done = true;
+        self.bus.publish(
+            kind,
+            self.partition,
+            Some(self.start_seq),
+            vec![],
+            outputs,
+            bytes,
+            detail,
+        )
+    }
+}
+
+impl Drop for OpScope<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.bus.publish(
+                self.abort,
+                self.partition,
+                Some(self.start_seq),
+                vec![],
+                vec![],
+                0,
+                "aborted",
+            );
+        }
+    }
 }
 
 /// Engine-level counters (per-database).
@@ -248,6 +316,17 @@ pub(crate) struct DbInner {
     pub(crate) metrics: DbMetrics,
     pub(crate) maint: MaintState,
     pub(crate) sync: SyncPoints,
+    /// Lifecycle event bus: journal + user listeners. With neither, a
+    /// publish is one atomic increment (seq numbering stays continuous).
+    pub(crate) events: Arc<EventBus>,
+    /// The persistent journal, kept for its error counters; it is also
+    /// registered on `events` as a listener.
+    journal: Option<Arc<EventJournal>>,
+    /// Causal triggers for scheduled background jobs: the event seq that
+    /// made `schedule_triggers` enqueue the job, consumed when a worker
+    /// starts it. Kept outside `Job` so job identity (dedup, quarantine)
+    /// is untouched.
+    job_causes: parking_lot::Mutex<HashMap<Job, u64>>,
 }
 
 impl DbInner {
@@ -330,19 +409,47 @@ impl DbInner {
         core.next_file = next_file;
         core.partitions.sort_by(|a, b| a.meta.lo.cmp(&b.meta.lo));
 
+        // Event bus + optional persistent journal. The journal is strictly
+        // advisory: failure to open it degrades to "no journal" (never a
+        // failed database open), and seq numbering continues from whatever
+        // events survived on disk.
+        let mut listeners = opts.listeners.0.clone();
+        let mut journal = None;
+        let mut first_seq = 1u64;
+        if opts.enable_event_journal {
+            if let Ok((j, next)) = EventJournal::open(
+                env.clone(),
+                &root,
+                opts.event_journal_max_bytes,
+                opts.paranoid_checks,
+            ) {
+                first_seq = next;
+                listeners.push(j.clone() as Arc<dyn EventListener>);
+                journal = Some(j);
+            }
+        }
+        let events = EventBus::new(listeners, first_seq);
+
         let db = DbInner {
             resolver: Arc::new(ValueResolver::new(env.clone(), root.clone())),
             fetch_pool: FetchPool::new(opts.value_fetch_threads)
                 .with_metrics(metrics.fetch.clone()),
             env,
             root,
-            maint: MaintState::new(RetryConfig::from_options(&opts), stats.clone()),
+            maint: MaintState::new(
+                RetryConfig::from_options(&opts),
+                stats.clone(),
+                events.clone(),
+            ),
             opts,
             topts,
             core: RwLock::new(core),
             stats,
             metrics,
             sync: SyncPoints::default(),
+            events,
+            journal,
+            job_causes: parking_lot::Mutex::new(HashMap::new()),
         };
 
         // Flush any memtable rebuilt from a WAL so the on-disk state is
@@ -427,43 +534,53 @@ impl DbInner {
         self.write(key, b"", ValueType::Deletion)
     }
 
+    /// Insert or update `key`, returning a per-operation stage profile.
+    pub fn put_profiled(&self, key: &[u8], value: &[u8]) -> Result<PerfContext> {
+        self.write_observed(key, value, ValueType::Value, true)
+    }
+
+    /// Delete `key`, returning a per-operation stage profile.
+    pub fn delete_profiled(&self, key: &[u8]) -> Result<PerfContext> {
+        self.write_observed(key, b"", ValueType::Deletion, true)
+    }
+
     fn write(&self, key: &[u8], value: &[u8], t: ValueType) -> Result<()> {
+        self.write_observed(key, value, t, false).map(|_| ())
+    }
+
+    /// The write path with optional per-op profiling. The profiler reuses
+    /// the operation's own histogram clock readings (`t0`/`t1`), so the
+    /// profile's stage sum equals the recorded latency exactly and an
+    /// unprofiled call performs the same two clock reads as before.
+    fn write_observed(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        t: ValueType,
+        profile: bool,
+    ) -> Result<PerfContext> {
         if key.is_empty() {
             return Err(Error::invalid_argument("empty keys are not supported"));
         }
         let t0 = self.metrics.registry.now_micros();
-        if self.opts.background_jobs > 0 {
-            self.wait_for_write_room(Some(key))?;
+        if profile {
+            perf::begin_at(self.metrics.registry.clone(), t0);
         }
-        let mut core = self.core.write();
-        core.last_seq += 1;
-        let seq = core.last_seq;
-        let pidx = core.route(key);
-        let p = &mut core.partitions[pidx];
-        let op = [(t, key.to_vec(), value.to_vec())];
-        p.wal.add_record(&encode_batch_record(seq, &op))?;
-        if self.opts.sync_writes {
-            p.wal.sync()?;
-        }
-        // Memtable values carry the SeparatedValue slot encoding so every
-        // store tier speaks the same value format.
-        let slot = SeparatedValue::Inline(value.to_vec()).encode();
-        p.mem.add(seq, t, key, &slot);
-        UniKvStats::add(
-            &self.stats.user_bytes_written,
-            (key.len() + value.len()) as u64,
-        );
-        let pid = p.meta.id;
-        if p.mem.approximate_memory_usage() >= self.opts.write_buffer_size {
-            if self.opts.background_jobs > 0 {
-                self.seal_memtable(&mut core, pidx)?;
-                self.schedule(JobKind::Flush, pid);
-            } else {
-                self.flush_partition(&mut core, pidx)?;
-                self.run_triggers(&mut core, pidx)?;
+        let pid = match self.write_impl(key, value, t) {
+            Ok(pid) => pid,
+            Err(e) => {
+                if profile {
+                    perf::cancel();
+                }
+                return Err(e);
             }
-        }
+        };
         let t1 = self.metrics.registry.now_micros();
+        let ctx = if profile {
+            perf::finish_at(t1)
+        } else {
+            PerfContext::default()
+        };
         self.metrics.eng.writes.inc();
         self.metrics.eng.put_latency.record(t1.saturating_sub(t0));
         self.metrics.registry.trace_event(TraceEvent {
@@ -478,7 +595,45 @@ impl DbInner {
             partition: pid,
             bytes: (key.len() + value.len()) as u64,
         });
-        Ok(())
+        Ok(ctx)
+    }
+
+    fn write_impl(&self, key: &[u8], value: &[u8], t: ValueType) -> Result<u32> {
+        if self.opts.background_jobs > 0 {
+            self.wait_for_write_room(Some(key))?;
+            perf::mark(PerfStage::StallWait);
+        }
+        let mut core = self.core.write();
+        core.last_seq += 1;
+        let seq = core.last_seq;
+        let pidx = core.route(key);
+        perf::mark(PerfStage::Router);
+        let p = &mut core.partitions[pidx];
+        let op = [(t, key.to_vec(), value.to_vec())];
+        p.wal.add_record(&encode_batch_record(seq, &op))?;
+        if self.opts.sync_writes {
+            p.wal.sync()?;
+        }
+        // Memtable values carry the SeparatedValue slot encoding so every
+        // store tier speaks the same value format.
+        let slot = SeparatedValue::Inline(value.to_vec()).encode();
+        p.mem.add(seq, t, key, &slot);
+        perf::mark(PerfStage::Memtable);
+        UniKvStats::add(
+            &self.stats.user_bytes_written,
+            (key.len() + value.len()) as u64,
+        );
+        let pid = p.meta.id;
+        if p.mem.approximate_memory_usage() >= self.opts.write_buffer_size {
+            if self.opts.background_jobs > 0 {
+                self.seal_memtable(&mut core, pidx)?;
+                self.schedule(JobKind::Flush, pid);
+            } else {
+                let fin = self.flush_partition(&mut core, pidx)?;
+                self.run_triggers(&mut core, pidx, fin)?;
+            }
+        }
+        Ok(pid)
     }
 
     /// Apply `batch` atomically: each partition's slice of the batch is
@@ -533,8 +688,8 @@ impl DbInner {
                     self.seal_memtable(&mut core, pidx)?;
                     self.schedule(JobKind::Flush, pid);
                 } else {
-                    self.flush_partition(&mut core, pidx)?;
-                    self.run_triggers(&mut core, pidx)?;
+                    let fin = self.flush_partition(&mut core, pidx)?;
+                    self.run_triggers(&mut core, pidx, fin)?;
                 }
             }
         }
@@ -561,13 +716,14 @@ impl DbInner {
     pub fn flush(&self) -> Result<()> {
         let _pause = self.pause_maintenance()?;
         let mut core = self.core.write();
-        for i in 0..core.partitions.len() {
+        let mut fins = vec![None; core.partitions.len()];
+        for (i, fin) in fins.iter_mut().enumerate() {
             if !core.partitions[i].mem.is_empty() || !core.partitions[i].imms.is_empty() {
-                self.flush_partition(&mut core, i)?;
+                *fin = self.flush_partition(&mut core, i)?;
             }
         }
-        for i in 0..core.partitions.len() {
-            self.run_triggers(&mut core, i)?;
+        for (i, fin) in fins.into_iter().enumerate() {
+            self.run_triggers(&mut core, i, fin)?;
         }
         Ok(())
     }
@@ -577,11 +733,12 @@ impl DbInner {
         let _pause = self.pause_maintenance()?;
         let mut core = self.core.write();
         for i in 0..core.partitions.len() {
+            let mut fin = None;
             if !core.partitions[i].mem.is_empty() || !core.partitions[i].imms.is_empty() {
-                self.flush_partition(&mut core, i)?;
+                fin = self.flush_partition(&mut core, i)?;
             }
             if !core.partitions[i].meta.unsorted.is_empty() {
-                self.merge_partition(&mut core, i)?;
+                self.merge_partition(&mut core, i, fin)?;
             }
         }
         Ok(())
@@ -593,7 +750,7 @@ impl DbInner {
         let _pause = self.pause_maintenance()?;
         let mut core = self.core.write();
         for i in 0..core.partitions.len() {
-            self.gc_partition(&mut core, i)?;
+            self.gc_partition(&mut core, i, None)?;
         }
         Ok(())
     }
@@ -626,6 +783,27 @@ impl DbInner {
         }
     }
 
+    /// Remember the event seq that caused `kind` to be scheduled on
+    /// `partition`; the worker publishing the job's start event consumes
+    /// it via [`DbInner::take_job_cause`]. Only bothers when someone is
+    /// listening — the map must stay empty on the zero-overhead path.
+    fn note_job_cause(&self, kind: JobKind, partition: u32, cause: Option<u64>) {
+        let Some(cause) = cause else { return };
+        if self.opts.background_jobs == 0 || !self.events.has_listeners() {
+            return;
+        }
+        self.job_causes
+            .lock()
+            .insert(Job { kind, partition }, cause);
+    }
+
+    fn take_job_cause(&self, kind: JobKind, partition: u32) -> Option<u64> {
+        if !self.events.has_listeners() {
+            return None;
+        }
+        self.job_causes.lock().remove(&Job { kind, partition })
+    }
+
     /// Backpressure: before a write proceeds, brake against the routed
     /// partition's debt (sealed memtables awaiting flush, UnsortedStore
     /// merge backlog). `key = None` (batches, which may touch any
@@ -633,6 +811,7 @@ impl DbInner {
     fn wait_for_write_room(&self, key: Option<&[u8]>) -> Result<()> {
         let mut slowed = false;
         let mut stopped = false;
+        let mut stall_seq = None;
         let start = Instant::now();
         let result = loop {
             // Poisoned or ReadOnly health rejects the write with a typed
@@ -671,6 +850,17 @@ impl DbInner {
                     if !slowed {
                         slowed = true;
                         UniKvStats::add(&self.stats.stall_slowdowns, 1);
+                        if stall_seq.is_none() && self.events.has_listeners() {
+                            stall_seq = Some(self.events.publish(
+                                EventKind::StallBegin,
+                                pid,
+                                None,
+                                vec![],
+                                vec![],
+                                0,
+                                "slowdown",
+                            ));
+                        }
                         std::thread::sleep(Duration::from_micros(self.opts.stall_sleep_micros));
                     }
                     break Ok(());
@@ -679,6 +869,17 @@ impl DbInner {
                     if !stopped {
                         stopped = true;
                         UniKvStats::add(&self.stats.stall_stops, 1);
+                        if stall_seq.is_none() && self.events.has_listeners() {
+                            stall_seq = Some(self.events.publish(
+                                EventKind::StallBegin,
+                                pid,
+                                None,
+                                vec![],
+                                vec![],
+                                0,
+                                "stop",
+                            ));
+                        }
                     }
                     // Defensive re-schedule: the jobs that pay the debt
                     // down are normally already queued, but a dropped
@@ -703,10 +904,19 @@ impl DbInner {
             }
         };
         if slowed || stopped {
-            UniKvStats::add(
-                &self.stats.stall_time_micros,
-                start.elapsed().as_micros() as u64,
-            );
+            let waited = start.elapsed().as_micros() as u64;
+            UniKvStats::add(&self.stats.stall_time_micros, waited);
+            if let Some(begin) = stall_seq {
+                self.events.publish(
+                    EventKind::StallEnd,
+                    0,
+                    Some(begin),
+                    vec![],
+                    vec![],
+                    waited,
+                    "",
+                );
+            }
         }
         result
     }
@@ -729,9 +939,28 @@ impl DbInner {
 
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_observed(key, false).map(|(v, _)| v)
+    }
+
+    /// Point lookup returning a per-operation stage profile alongside the
+    /// value. The profile's `total_micros` equals the latency recorded in
+    /// the `get` histogram for this very call.
+    pub fn get_profiled(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, PerfContext)> {
+        self.get_observed(key, true)
+    }
+
+    fn get_observed(&self, key: &[u8], profile: bool) -> Result<(Option<Vec<u8>>, PerfContext)> {
         let t0 = self.metrics.registry.now_micros();
+        if profile {
+            perf::begin_at(self.metrics.registry.clone(), t0);
+        }
         let r = self.track_read(self.get_impl(key));
         let t1 = self.metrics.registry.now_micros();
+        let ctx = if profile {
+            perf::finish_at(t1)
+        } else {
+            PerfContext::default()
+        };
         match &r {
             Ok((value, outcome, pid)) => {
                 self.metrics.eng.record_read(*outcome);
@@ -749,7 +978,7 @@ impl DbInner {
                 self.metrics.eng.get_latency.record(t1.saturating_sub(t0));
             }
         }
-        r.map(|(value, _, _)| value)
+        r.map(|(value, _, _)| (value, ctx))
     }
 
     /// Resolve `key` to its value plus the tier that answered (for the
@@ -760,6 +989,7 @@ impl DbInner {
         let snapshot = core.last_seq;
         let p = &core.partitions[core.route(key)];
         let pid = p.meta.id;
+        perf::mark(PerfStage::Router);
 
         // 1. Memtables: the active one, then sealed ones newest-first
         //    (sealed memtables hold data newer than any flushed table).
@@ -767,16 +997,19 @@ impl DbInner {
             match mem.get(key, snapshot) {
                 LookupResult::Value(slot) => {
                     UniKvStats::add(&self.stats.memtable_hits, 1);
+                    perf::mark(PerfStage::Memtable);
                     let (v, _) = self.resolve_slot(&slot)?;
                     return Ok((Some(v), TraceOutcome::Memtable, pid));
                 }
                 LookupResult::Deleted => {
                     UniKvStats::add(&self.stats.memtable_hits, 1);
+                    perf::mark(PerfStage::Memtable);
                     return Ok((None, TraceOutcome::Memtable, pid));
                 }
                 LookupResult::NotFound => {}
             }
         }
+        perf::mark(PerfStage::Memtable);
 
         let seek_key = make_internal_key(key, snapshot, ValueType::Value);
 
@@ -784,10 +1017,12 @@ impl DbInner {
         //    when the index is disabled — ablation E7).
         if self.opts.enable_hash_index {
             for table_id in p.index.candidates(key) {
+                perf::count_hash_probes(1);
                 let Some(tmeta) = p.meta.unsorted.iter().find(|t| t.number == table_id as u64)
                 else {
                     continue; // stale entry for an already-merged table
                 };
+                perf::mark(PerfStage::IndexProbe);
                 match self.probe_table(p, tmeta, &seek_key, key)? {
                     Probe::Value(slot) => {
                         let (v, _) = self.resolve_slot(&slot)?;
@@ -819,7 +1054,9 @@ impl DbInner {
         // 3. SortedStore: binary search over boundary keys — at most one
         //    table, at most one data block. Values here may live in the
         //    value log (partial KV separation); report those as `Vlog`.
-        if let Some(tmeta) = p.sorted_table_for(key) {
+        let sorted = p.sorted_table_for(key);
+        perf::mark(PerfStage::BoundarySearch);
+        if let Some(tmeta) = sorted {
             match self.probe_table(p, tmeta, &seek_key, key)? {
                 Probe::Value(slot) => {
                     let (v, from_vlog) = self.resolve_slot(&slot)?;
@@ -1073,8 +1310,10 @@ impl DbInner {
     }
 
     /// Run post-flush triggers on partition `pidx`: size-based merge, full
-    /// merge, GC, split.
-    fn run_triggers(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+    /// merge, GC, split. `cause` is the event seq of whatever ran last
+    /// (usually the triggering flush's finish); each completed step becomes
+    /// the cause of the next, chaining seal→flush→merge→GC causally.
+    fn run_triggers(&self, core: &mut DbCore, pidx: usize, cause: Option<u64>) -> Result<()> {
         let (over_unsorted, over_scan_merge) = {
             let p = &core.partitions[pidx];
             (
@@ -1083,13 +1322,18 @@ impl DbInner {
                     && p.meta.unsorted.len() >= self.opts.scan_merge_limit,
             )
         };
+        let mut cause = cause;
         if over_unsorted {
-            self.merge_partition(core, pidx)?;
+            if let Some(fin) = self.merge_partition(core, pidx, cause)? {
+                cause = Some(fin);
+            }
         } else if over_scan_merge {
-            self.scan_merge_partition(core, pidx)?;
+            if let Some(fin) = self.scan_merge_partition(core, pidx, cause)? {
+                cause = Some(fin);
+            }
         }
-        self.maybe_gc(core, pidx)?;
-        self.maybe_split(core, pidx)?;
+        self.maybe_gc(core, pidx, cause)?;
+        self.maybe_split(core, pidx, cause)?;
         Ok(())
     }
 
@@ -1097,23 +1341,28 @@ impl DbInner {
     /// for whatever thresholds partition `pidx` currently exceeds. Each
     /// job re-checks its trigger when it runs, so over-scheduling is
     /// harmless (and duplicates collapse in the queue).
-    fn schedule_triggers(&self, core: &DbCore, pidx: usize) {
+    fn schedule_triggers(&self, core: &DbCore, pidx: usize, cause: Option<u64>) {
         let p = &core.partitions[pidx];
         let pid = p.meta.id;
         if !p.imms.is_empty() {
+            // A flush's cause travels with the sealed memtable itself.
             self.schedule(JobKind::Flush, pid);
         }
         if p.unsorted_bytes() >= self.opts.unsorted_limit_bytes {
+            self.note_job_cause(JobKind::Merge, pid, cause);
             self.schedule(JobKind::Merge, pid);
         } else if self.opts.enable_scan_optimization
             && p.meta.unsorted.len() >= self.opts.scan_merge_limit
         {
+            self.note_job_cause(JobKind::ScanMerge, pid, cause);
             self.schedule(JobKind::ScanMerge, pid);
         }
         if self.gc_due(p) {
+            self.note_job_cause(JobKind::Gc, pid, cause);
             self.schedule(JobKind::Gc, pid);
         }
         if self.opts.enable_partitioning && p.logical_size() > self.opts.partition_size_limit {
+            self.note_job_cause(JobKind::Split, pid, cause);
             self.schedule(JobKind::Split, pid);
         }
     }
@@ -1128,6 +1377,7 @@ impl DbInner {
         if p.mem.is_empty() {
             return Ok(());
         }
+        let mem_bytes = p.mem.approximate_memory_usage() as u64;
         self.sync.hit("seal:begin")?;
         p.wal.sync()?;
         let dir = partition_dir(&self.root, p.meta.id);
@@ -1144,9 +1394,24 @@ impl DbInner {
         p.imms.push(SealedMem {
             wal_number: old_wal,
             mem: sealed,
+            cause: None,
         });
         self.sync.hit("seal:commit")?;
-        self.commit_meta(core)
+        self.commit_meta(core)?;
+        let p = &mut core.partitions[pidx];
+        let seq = self.events.publish(
+            EventKind::Seal,
+            p.meta.id,
+            None,
+            vec![old_wal],
+            vec![new_wal],
+            mem_bytes,
+            "",
+        );
+        if let Some(s) = p.imms.last_mut() {
+            s.cause = Some(seq);
+        }
+        Ok(())
     }
 
     /// Write a memtable out as one UnsortedStore table, deduping to the
@@ -1203,6 +1468,7 @@ impl DbInner {
         tmeta: TableMeta,
         keys: &[Vec<u8>],
         old_wal: u64,
+        flush_start: Option<u64>,
     ) -> Result<()> {
         self.sync.hit("flush:install")?;
         let table_number = tmeta.number;
@@ -1237,10 +1503,20 @@ impl DbInner {
         self.sync.hit("flush:cleanup")?;
         // Old WAL is obsolete once META no longer names it.
         let p = &core.partitions[pidx];
-        let dir = partition_dir(&self.root, p.meta.id);
+        let pid = p.meta.id;
+        let dir = partition_dir(&self.root, pid);
         let old = filenames::wal_file(&dir, old_wal);
         if self.env.file_exists(&old) {
             self.env.delete_file(&old)?;
+            self.events.publish(
+                EventKind::WalRetired,
+                pid,
+                flush_start,
+                vec![old_wal],
+                vec![],
+                0,
+                "",
+            );
         }
         self.maint.notify_progress();
         Ok(())
@@ -1254,22 +1530,40 @@ impl DbInner {
     /// both the in-memory and the committed state referencing every acked
     /// byte. Sealed memtables drain oldest first, so newer data keeps
     /// shadowing older data.
-    fn flush_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+    fn flush_partition(&self, core: &mut DbCore, pidx: usize) -> Result<Option<u64>> {
         if !core.partitions[pidx].mem.is_empty() {
             self.seal_memtable(core, pidx)?;
         }
+        let mut last_finish = None;
         while !core.partitions[pidx].imms.is_empty() {
             let t0 = self.metrics.registry.now_micros();
             let table_number = core.alloc_file();
             let sealed = core.partitions[pidx].imms[0].clone();
             let pid = core.partitions[pidx].meta.id;
             let dir = partition_dir(&self.root, pid);
+            let scope = OpScope::begin(
+                &self.events,
+                EventKind::FlushStart,
+                EventKind::FlushAbort,
+                pid,
+                sealed.cause,
+                vec![sealed.wal_number],
+                0,
+            );
             let (tmeta, keys) = self.build_flush_table(&dir, table_number, sealed.mem)?;
             let bytes = tmeta.size;
-            self.install_flush(core, pidx, tmeta, &keys, sealed.wal_number)?;
+            self.install_flush(
+                core,
+                pidx,
+                tmeta,
+                &keys,
+                sealed.wal_number,
+                Some(scope.start_seq),
+            )?;
+            last_finish = Some(scope.finish(EventKind::FlushFinish, vec![table_number], bytes, ""));
             self.record_maint(TraceOp::Flush, t0, pid, bytes);
         }
-        Ok(())
+        Ok(last_finish)
     }
 
     /// Record one completed maintenance operation: a latency sample in the
@@ -1301,7 +1595,12 @@ impl DbInner {
     /// Merge the UnsortedStore into the SortedStore with partial KV
     /// separation: fresh (inline) values move to a new value log; values
     /// already separated keep their pointers and are NOT rewritten.
-    fn merge_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+    fn merge_partition(
+        &self,
+        core: &mut DbCore,
+        pidx: usize,
+        cause: Option<u64>,
+    ) -> Result<Option<u64>> {
         let start_file = core.next_file;
         let mut used = 0u64;
         let DbCore {
@@ -1311,12 +1610,28 @@ impl DbInner {
         } = core;
         let p = &mut partitions[pidx];
         if p.meta.unsorted.is_empty() && p.meta.sorted.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
         let t0 = self.metrics.registry.now_micros();
         self.sync.hit("merge:begin")?;
         let dir = partition_dir(&self.root, p.meta.id);
         let input_bytes = p.unsorted_bytes() + p.sorted_bytes();
+        let input_tables: Vec<u64> = p
+            .meta
+            .unsorted
+            .iter()
+            .chain(p.meta.sorted.iter())
+            .map(|t| t.number)
+            .collect();
+        let scope = OpScope::begin(
+            &self.events,
+            EventKind::MergeStart,
+            EventKind::MergeAbort,
+            p.meta.id,
+            cause,
+            input_tables,
+            input_bytes,
+        );
 
         let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
         for tmeta in &p.meta.unsorted {
@@ -1408,6 +1723,7 @@ impl DbInner {
         UniKvStats::add(&self.stats.merges, 1);
 
         // Swap the tiers: UnsortedStore empties; the hash index resets.
+        let output_tables: Vec<u64> = new_tables.iter().map(|t| t.number).collect();
         let old_tables: Vec<TableMeta> = p
             .meta
             .unsorted
@@ -1427,6 +1743,9 @@ impl DbInner {
 
         self.sync.hit("merge:commit")?;
         self.commit_meta(core)?;
+        // META committed: the merge is durable, so the finish event fires
+        // here — a cleanup failure below must not read as an aborted merge.
+        let fin = scope.finish(EventKind::MergeFinish, output_tables, written, "");
         self.sync.hit("merge:cleanup")?;
         let p = &mut core.partitions[pidx];
         let dir = partition_dir(&self.root, p.meta.id);
@@ -1436,22 +1755,38 @@ impl DbInner {
                 .delete_file(&filenames::table_file(&dir, t.number))?;
         }
         self.record_maint(TraceOp::Merge, t0, core.partitions[pidx].meta.id, written);
-        Ok(())
+        Ok(Some(fin))
     }
 
     /// Size-based merge (scan optimization): collapse all UnsortedStore
     /// tables into one globally sorted UnsortedStore table — values stay
     /// inline, the tier stays hash-indexed, scans stop paying one seek per
     /// overlapping table.
-    fn scan_merge_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+    fn scan_merge_partition(
+        &self,
+        core: &mut DbCore,
+        pidx: usize,
+        cause: Option<u64>,
+    ) -> Result<Option<u64>> {
         let table_number = core.alloc_file();
         let p = &mut core.partitions[pidx];
         if p.meta.unsorted.len() < 2 {
-            return Ok(());
+            return Ok(None);
         }
         let t0 = self.metrics.registry.now_micros();
         self.sync.hit("scanmerge:begin")?;
         let dir = partition_dir(&self.root, p.meta.id);
+        let input_tables: Vec<u64> = p.meta.unsorted.iter().map(|t| t.number).collect();
+        let input_bytes = p.unsorted_bytes();
+        let scope = OpScope::begin(
+            &self.events,
+            EventKind::ScanMergeStart,
+            EventKind::ScanMergeAbort,
+            p.meta.id,
+            cause,
+            input_tables,
+            input_bytes,
+        );
 
         let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
         for tmeta in &p.meta.unsorted {
@@ -1508,6 +1843,13 @@ impl DbInner {
 
         self.sync.hit("scanmerge:commit")?;
         self.commit_meta(core)?;
+        let merged_size = core.partitions[pidx].meta.unsorted[0].size;
+        let fin = scope.finish(
+            EventKind::ScanMergeFinish,
+            vec![table_number],
+            merged_size,
+            "",
+        );
         self.sync.hit("scanmerge:cleanup")?;
         let p = &mut core.partitions[pidx];
         let dir = partition_dir(&self.root, p.meta.id);
@@ -1516,12 +1858,9 @@ impl DbInner {
             self.env
                 .delete_file(&filenames::table_file(&dir, t.number))?;
         }
-        let (pid, bytes) = {
-            let p = &core.partitions[pidx];
-            (p.meta.id, p.meta.unsorted[0].size)
-        };
-        self.record_maint(TraceOp::ScanMerge, t0, pid, bytes);
-        Ok(())
+        let pid = core.partitions[pidx].meta.id;
+        self.record_maint(TraceOp::ScanMerge, t0, pid, merged_size);
+        Ok(Some(fin))
     }
 
     /// The GC trigger condition for one partition.
@@ -1543,9 +1882,9 @@ impl DbInner {
         garbage as f64 / total.max(1) as f64 >= self.opts.gc_garbage_ratio
     }
 
-    fn maybe_gc(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+    fn maybe_gc(&self, core: &mut DbCore, pidx: usize, cause: Option<u64>) -> Result<()> {
         if self.gc_due(&core.partitions[pidx]) {
-            self.gc_partition(core, pidx)?;
+            self.gc_partition(core, pidx, cause)?;
         }
         Ok(())
     }
@@ -1555,7 +1894,7 @@ impl DbInner {
     /// index queries, unlike WiscKey) into fresh logs, rewrite the
     /// SortedStore with the new pointers, drop old and inherited logs.
     /// Also performs the lazy value split after a partition split.
-    fn gc_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+    fn gc_partition(&self, core: &mut DbCore, pidx: usize, cause: Option<u64>) -> Result<()> {
         let start_file = core.next_file;
         let mut used = 0u64;
         let DbCore {
@@ -1581,6 +1920,15 @@ impl DbInner {
         self.sync.hit("gc:begin")?;
         let dir = partition_dir(&self.root, p.meta.id);
         let old_logs: Vec<u64> = p.vlog.lock().log_numbers();
+        let scope = OpScope::begin(
+            &self.events,
+            EventKind::GcStart,
+            EventKind::GcAbort,
+            p.meta.id,
+            cause,
+            old_logs.clone(),
+            p.vlog.lock().total_size(),
+        );
 
         // Step 1+2 of the paper's protocol: identify valid values by
         // scanning the SortedStore in key order, read them, and append to
@@ -1674,6 +2022,8 @@ impl DbInner {
         // and tables may be deleted.
         self.sync.hit("gc:commit")?;
         self.commit_meta(core)?;
+        let new_log_numbers = core.partitions[pidx].meta.own_logs.clone();
+        scope.finish(EventKind::GcFinish, new_log_numbers, written, "");
         self.sync.hit("gc:cleanup")?;
         let p = &mut core.partitions[pidx];
         let dir = partition_dir(&self.root, p.meta.id);
@@ -1712,21 +2062,26 @@ impl DbInner {
         Ok(())
     }
 
-    fn maybe_split(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+    fn maybe_split(&self, core: &mut DbCore, pidx: usize, cause: Option<u64>) -> Result<()> {
         if !self.opts.enable_partitioning {
             return Ok(());
         }
         if core.partitions[pidx].logical_size() <= self.opts.partition_size_limit {
             return Ok(());
         }
-        self.split_partition(core, pidx)
+        self.split_partition(core, pidx, cause).map(|_| ())
     }
 
     /// Dynamic range partitioning: split partition `pidx` at its median
     /// key into two partitions with disjoint ranges. Keys are split
     /// eagerly (full merge-sort); values already in logs are shared with
     /// the children and split lazily by their future GCs.
-    fn split_partition(&self, core: &mut DbCore, pidx: usize) -> Result<()> {
+    fn split_partition(
+        &self,
+        core: &mut DbCore,
+        pidx: usize,
+        cause: Option<u64>,
+    ) -> Result<Option<u64>> {
         // The paper locks the partition and flushes its memtable first; our
         // global write lock subsumes the partition lock. Sealed memtables
         // (background mode) drain here too — the split passes below only
@@ -1756,7 +2111,7 @@ impl DbInner {
             count
         };
         if total < 2 {
-            return Ok(()); // cannot split fewer than two keys
+            return Ok(None); // cannot split fewer than two keys
         }
         let t0 = self.metrics.registry.now_micros();
         self.sync.hit("split:begin")?;
@@ -1788,6 +2143,24 @@ impl DbInner {
                 .chain(p.meta.inherited_logs.iter().copied())
                 .collect()
         };
+        let parent_tables: Vec<u64> = {
+            let p = &core.partitions[pidx];
+            p.meta
+                .unsorted
+                .iter()
+                .chain(p.meta.sorted.iter())
+                .map(|t| t.number)
+                .collect()
+        };
+        let scope = OpScope::begin(
+            &self.events,
+            EventKind::SplitStart,
+            EventKind::SplitAbort,
+            parent_id,
+            cause,
+            parent_tables,
+            0,
+        );
 
         // Pass 2: stream entries into the two children.
         struct ChildBuild {
@@ -1960,6 +2333,14 @@ impl DbInner {
 
         self.sync.hit("split:commit")?;
         self.commit_meta(core)?;
+        // Outputs name the two child *partitions* (the interesting unit
+        // here), not files; the detail spells out which is which.
+        let fin = scope.finish(
+            EventKind::SplitFinish,
+            vec![left_id as u64, right_id as u64],
+            split_bytes,
+            &format!("children p{left_id},p{right_id}"),
+        );
         self.sync.hit("split:cleanup")?;
 
         // Delete the parent's table files, WAL, and index checkpoint; keep
@@ -1982,7 +2363,7 @@ impl DbInner {
         // Parent logs with no surviving references can go immediately.
         self.sweep_shared_logs(core, &parent_logs)?;
         self.record_maint(TraceOp::Split, t0, parent_id, split_bytes);
-        Ok(())
+        Ok(Some(fin))
     }
 
     // ---------------------------------------------------------------
@@ -2023,14 +2404,31 @@ impl DbInner {
                 )
             };
             let t0 = self.metrics.registry.now_micros();
+            let scope = OpScope::begin(
+                &self.events,
+                EventKind::FlushStart,
+                EventKind::FlushAbort,
+                pid,
+                sealed.cause,
+                vec![sealed.wal_number],
+                0,
+            );
             let (tmeta, keys) = self.build_flush_table(&dir, table_number, sealed.mem)?;
             let bytes = tmeta.size;
             let mut core = self.core.write();
             let Some(pidx) = core.partition_index(pid) else {
-                return Ok(());
+                return Ok(()); // partition vanished (split); scope aborts
             };
-            self.install_flush(&mut core, pidx, tmeta, &keys, sealed.wal_number)?;
-            self.schedule_triggers(&core, pidx);
+            self.install_flush(
+                &mut core,
+                pidx,
+                tmeta,
+                &keys,
+                sealed.wal_number,
+                Some(scope.start_seq),
+            )?;
+            let fin = scope.finish(EventKind::FlushFinish, vec![table_number], bytes, "");
+            self.schedule_triggers(&core, pidx, Some(fin));
             self.record_maint(TraceOp::Flush, t0, pid, bytes);
         }
     }
@@ -2076,6 +2474,20 @@ impl DbInner {
         self.sync.hit("merge:begin")?;
         let input_bytes = consumed.iter().map(|t| t.size).sum::<u64>()
             + sorted_metas.iter().map(|t| t.size).sum::<u64>();
+        let input_tables: Vec<u64> = consumed
+            .iter()
+            .chain(sorted_metas.iter())
+            .map(|t| t.number)
+            .collect();
+        let scope = OpScope::begin(
+            &self.events,
+            EventKind::MergeStart,
+            EventKind::MergeAbort,
+            pid,
+            self.take_job_cause(JobKind::Merge, pid),
+            input_tables,
+            input_bytes,
+        );
 
         // Phase 2: heavy merge, core lock released.
         let mut children: Vec<Box<dyn InternalIterator>> = handles
@@ -2199,6 +2611,13 @@ impl DbInner {
 
         self.sync.hit("merge:commit")?;
         self.commit_meta(&core)?;
+        let output_tables: Vec<u64> = core.partitions[pidx]
+            .meta
+            .sorted
+            .iter()
+            .map(|t| t.number)
+            .collect();
+        let fin = scope.finish(EventKind::MergeFinish, output_tables, written, "");
         self.sync.hit("merge:cleanup")?;
         let p = &mut core.partitions[pidx];
         for t in old_tables {
@@ -2207,7 +2626,7 @@ impl DbInner {
                 .delete_file(&filenames::table_file(&dir, t.number))?;
         }
         self.maint.notify_progress();
-        self.schedule_triggers(&core, pidx);
+        self.schedule_triggers(&core, pidx, Some(fin));
         self.record_maint(TraceOp::Merge, t0, pid, written);
         Ok(())
     }
@@ -2241,6 +2660,15 @@ impl DbInner {
         };
         let t0 = self.metrics.registry.now_micros();
         self.sync.hit("scanmerge:begin")?;
+        let scope = OpScope::begin(
+            &self.events,
+            EventKind::ScanMergeStart,
+            EventKind::ScanMergeAbort,
+            pid,
+            self.take_job_cause(JobKind::ScanMerge, pid),
+            consumed.iter().map(|t| t.number).collect(),
+            consumed.iter().map(|t| t.size).sum(),
+        );
 
         // Phase 2: merge into one table, collecting kept keys.
         let children: Vec<Box<dyn InternalIterator>> = handles
@@ -2316,6 +2744,12 @@ impl DbInner {
 
         self.sync.hit("scanmerge:commit")?;
         self.commit_meta(&core)?;
+        let fin = scope.finish(
+            EventKind::ScanMergeFinish,
+            vec![table_number],
+            props.file_size,
+            "",
+        );
         self.sync.hit("scanmerge:cleanup")?;
         let p = &mut core.partitions[pidx];
         for t in old_tables {
@@ -2324,7 +2758,7 @@ impl DbInner {
                 .delete_file(&filenames::table_file(&dir, t.number))?;
         }
         self.maint.notify_progress();
-        self.schedule_triggers(&core, pidx);
+        self.schedule_triggers(&core, pidx, Some(fin));
         self.record_maint(TraceOp::ScanMerge, t0, pid, props.file_size);
         Ok(())
     }
@@ -2338,7 +2772,8 @@ impl DbInner {
             return Ok(());
         };
         if self.gc_due(&core.partitions[pidx]) {
-            self.gc_partition(&mut core, pidx)?;
+            let cause = self.take_job_cause(JobKind::Gc, pid);
+            self.gc_partition(&mut core, pidx, cause)?;
         }
         Ok(())
     }
@@ -2355,11 +2790,12 @@ impl DbInner {
         {
             return Ok(());
         }
-        self.split_partition(&mut core, pidx)?;
+        let cause = self.take_job_cause(JobKind::Split, pid);
+        let fin = self.split_partition(&mut core, pidx, cause)?;
         // Both children may immediately warrant follow-up work.
-        self.schedule_triggers(&core, pidx);
+        self.schedule_triggers(&core, pidx, fin);
         if pidx + 1 < core.partitions.len() {
-            self.schedule_triggers(&core, pidx + 1);
+            self.schedule_triggers(&core, pidx + 1, fin);
         }
         Ok(())
     }
@@ -2493,6 +2929,25 @@ impl UniKv {
         self.inner.get(key)
     }
 
+    /// Point lookup with a per-operation stage profile (router, memtable,
+    /// index probes, boundary search, block reads, vlog fetch…). The
+    /// profile's `total_micros` equals the sum of its stages and the
+    /// latency recorded in the `get` histogram for this call.
+    pub fn get_profiled(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, PerfContext)> {
+        self.inner.get_profiled(key)
+    }
+
+    /// Insert or update `key`, returning a per-operation stage profile
+    /// (stall wait, router, WAL append/sync, memtable).
+    pub fn put_profiled(&self, key: &[u8], value: &[u8]) -> Result<PerfContext> {
+        self.inner.put_profiled(key, value)
+    }
+
+    /// Delete `key`, returning a per-operation stage profile.
+    pub fn delete_profiled(&self, key: &[u8]) -> Result<PerfContext> {
+        self.inner.delete_profiled(key)
+    }
+
     /// Range scan: up to `limit` live entries with `key >= from`.
     pub fn scan(&self, from: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
         self.inner.scan(from, limit)
@@ -2551,6 +3006,37 @@ impl UniKv {
     /// The database's metric bundle: registry plus every typed handle.
     pub fn metrics(&self) -> &DbMetrics {
         &self.inner.metrics
+    }
+
+    /// The lifecycle event bus this database publishes on. Exposed for
+    /// tests and tooling that want the next seq or panic counters; new
+    /// listeners must be registered via [`UniKvOptions::listeners`]
+    /// *before* open so no event is missed.
+    pub fn event_bus(&self) -> &Arc<EventBus> {
+        &self.inner.events
+    }
+
+    /// Listener panics caught (and swallowed) so far.
+    pub fn listener_panics(&self) -> u64 {
+        self.inner.events.listener_panics()
+    }
+
+    /// Event-journal health: `(events_written, write_errors)` since open,
+    /// or `None` when the journal is disabled or failed to open.
+    pub fn event_journal_stats(&self) -> Option<(u64, u64)> {
+        self.inner
+            .journal
+            .as_ref()
+            .map(|j| (j.events_written(), j.write_errors()))
+    }
+
+    /// Replace the event bus clock (microseconds, arbitrary monotonic
+    /// origin) used to stamp `at_micros` on published events, or restore
+    /// the real clock with `None`. Deliberately separate from the metrics
+    /// clock: publishing an event must never advance a manual metrics
+    /// clock mid-operation.
+    pub fn set_event_clock(&self, clock: Option<EventClock>) {
+        self.inner.events.set_clock(clock);
     }
 
     /// Human-readable metrics report: every counter, gauge, and latency

@@ -1,0 +1,285 @@
+//! Persistent event journal: the `EVENTS` file under the database root.
+//!
+//! The journal is an [`EventListener`] like any other — the database
+//! registers it on the event bus when `enable_event_journal` is set —
+//! that appends each event as one JSON line via the [`Env`] abstraction
+//! (so fault injection exercises it like every other file). Properties:
+//!
+//! * **Advisory, never load-bearing.** A journal that cannot be opened
+//!   or written never fails `Db::open` or any operation; failures are
+//!   counted ([`EventJournal::write_errors`]) and swallowed.
+//! * **Torn tails truncate.** Appends are flushed but only synced when
+//!   `paranoid_checks` is set, so a crash may leave a half-written last
+//!   line. On open the valid prefix is kept and rewritten — exactly the
+//!   WAL's tail policy — and sequence numbering continues from the last
+//!   surviving event.
+//! * **Size-capped with rotation.** When the live file exceeds the cap it
+//!   rotates to `EVENTS.old` (replacing any previous one); seq numbers
+//!   stay monotonic across the rotation.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use unikv_common::events::{Event, EventListener};
+use unikv_env::{Env, WritableFile};
+
+/// File name of the live event journal under the database root.
+pub const EVENTS_FILE: &str = "EVENTS";
+/// File name the journal rotates into.
+pub const EVENTS_OLD_FILE: &str = "EVENTS.old";
+
+struct JournalFile {
+    file: Box<dyn WritableFile>,
+    bytes: u64,
+}
+
+/// Append-only JSON-lines journal of lifecycle events.
+pub struct EventJournal {
+    env: Arc<dyn Env>,
+    path: PathBuf,
+    old_path: PathBuf,
+    max_bytes: u64,
+    /// Sync after every append (`paranoid_checks`).
+    sync_each: bool,
+    state: parking_lot::Mutex<JournalFile>,
+    events_written: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+/// Parse journal bytes into the longest valid prefix of events. Returns
+/// the events and the byte length of that prefix; anything after the
+/// first malformed or incomplete line is a torn tail to discard.
+pub fn parse_valid_prefix(data: &[u8]) -> (Vec<Event>, usize) {
+    let mut events = Vec::new();
+    let mut consumed = 0usize;
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let Some(nl) = data[pos..].iter().position(|b| *b == b'\n') else {
+            break; // incomplete last line
+        };
+        let line = &data[pos..pos + nl];
+        let Some(ev) = std::str::from_utf8(line).ok().and_then(Event::parse_json) else {
+            break;
+        };
+        events.push(ev);
+        pos += nl + 1;
+        consumed = pos;
+    }
+    (events, consumed)
+}
+
+/// Read and parse every surviving event under `root`, oldest first:
+/// the rotated `EVENTS.old` (if any) followed by the live `EVENTS`.
+/// Torn tails are dropped; missing files are simply empty.
+pub fn read_events(env: &dyn Env, root: &Path) -> Vec<Event> {
+    let mut all = Vec::new();
+    for name in [EVENTS_OLD_FILE, EVENTS_FILE] {
+        let path = root.join(name);
+        if !env.file_exists(&path) {
+            continue;
+        }
+        if let Ok(data) = env.read_to_vec(&path) {
+            all.extend(parse_valid_prefix(&data).0);
+        }
+    }
+    all
+}
+
+impl EventJournal {
+    /// Open (or create) the journal under `root`. Recovers from a torn
+    /// tail by rewriting the valid prefix; returns the journal and the
+    /// seq the event bus should continue from. Errors here mean the
+    /// journal itself is unusable — callers treat that as "no journal",
+    /// never as a failed database open.
+    pub fn open(
+        env: Arc<dyn Env>,
+        root: &Path,
+        max_bytes: u64,
+        sync_each: bool,
+    ) -> unikv_common::Result<(Arc<EventJournal>, u64)> {
+        let path = root.join(EVENTS_FILE);
+        let old_path = root.join(EVENTS_OLD_FILE);
+        let mut next_seq = 1u64;
+        if env.file_exists(&old_path) {
+            if let Ok(data) = env.read_to_vec(&old_path) {
+                if let Some(last) = parse_valid_prefix(&data).0.last() {
+                    next_seq = next_seq.max(last.seq + 1);
+                }
+            }
+        }
+        // `Env` has no append-open, so the valid prefix is rewritten
+        // through a fresh writable file; this is also what truncates a
+        // torn tail. The size cap bounds the rewrite.
+        let mut valid = Vec::new();
+        if env.file_exists(&path) {
+            if let Ok(data) = env.read_to_vec(&path) {
+                let (events, consumed) = parse_valid_prefix(&data);
+                if let Some(last) = events.last() {
+                    next_seq = next_seq.max(last.seq + 1);
+                }
+                valid = data[..consumed].to_vec();
+            }
+        }
+        let mut file = env.new_writable(&path)?;
+        if !valid.is_empty() {
+            file.append(&valid)?;
+        }
+        file.flush()?;
+        if sync_each {
+            file.sync()?;
+        }
+        let journal = Arc::new(EventJournal {
+            env,
+            path,
+            old_path,
+            max_bytes: max_bytes.max(1024),
+            sync_each,
+            state: parking_lot::Mutex::new(JournalFile {
+                file,
+                bytes: valid.len() as u64,
+            }),
+            events_written: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        });
+        Ok((journal, next_seq))
+    }
+
+    /// Events appended since open.
+    pub fn events_written(&self) -> u64 {
+        self.events_written.load(Ordering::Relaxed)
+    }
+
+    /// Append or rotation failures since open (journal kept best-effort).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Path of the live journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append_line(&self, line: &[u8]) -> unikv_common::Result<()> {
+        let mut st = self.state.lock();
+        if st.bytes > 0 && st.bytes + line.len() as u64 > self.max_bytes {
+            // Rotate: the live file becomes EVENTS.old (replacing any
+            // previous generation) and a fresh live file starts. If the
+            // fresh file cannot be created, keep appending to the old
+            // handle — its data was preserved by the rename.
+            let _ = self.env.delete_file(&self.old_path);
+            if self.env.rename(&self.path, &self.old_path).is_ok() {
+                match self.env.new_writable(&self.path) {
+                    Ok(f) => {
+                        st.file = f;
+                        st.bytes = 0;
+                    }
+                    Err(e) => {
+                        self.write_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = self.env.rename(&self.old_path, &self.path);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        st.file.append(line)?;
+        st.file.flush()?;
+        if self.sync_each {
+            st.file.sync()?;
+        }
+        st.bytes += line.len() as u64;
+        Ok(())
+    }
+}
+
+impl EventListener for EventJournal {
+    fn on_event(&self, event: &Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        match self.append_line(line.as_bytes()) {
+            Ok(()) => {
+                self.events_written.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unikv_common::events::{EventBus, EventKind};
+    use unikv_env::mem::MemEnv;
+
+    fn publish_n(bus: &EventBus, n: usize) {
+        for i in 0..n {
+            bus.publish(EventKind::Seal, 0, None, vec![i as u64], vec![], 64, "unit");
+        }
+    }
+
+    #[test]
+    fn journal_persists_and_resumes_seq() {
+        let env = MemEnv::shared();
+        let root = Path::new("/db");
+        env.create_dir_all(root).unwrap();
+        let (j, first) = EventJournal::open(env.clone(), root, 1 << 20, false).unwrap();
+        assert_eq!(first, 1);
+        let bus = EventBus::new(vec![j.clone()], first);
+        publish_n(&bus, 3);
+        assert_eq!(j.events_written(), 3);
+        assert_eq!(j.write_errors(), 0);
+        let events = read_events(env.as_ref(), root);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events.last().unwrap().seq, 3);
+        // Reopen: numbering continues after the surviving events.
+        let (_j2, next) = EventJournal::open(env.clone(), root, 1 << 20, false).unwrap();
+        assert_eq!(next, 4);
+    }
+
+    #[test]
+    fn torn_tail_truncated_on_open() {
+        let env = MemEnv::shared();
+        let root = Path::new("/db");
+        env.create_dir_all(root).unwrap();
+        {
+            let (j, first) = EventJournal::open(env.clone(), root, 1 << 20, false).unwrap();
+            let bus = EventBus::new(vec![j], first);
+            publish_n(&bus, 2);
+        }
+        // Tear the tail: a half-written third line.
+        let path = root.join(EVENTS_FILE);
+        let mut data = env.read_to_vec(&path).unwrap();
+        data.extend_from_slice(b"{\"seq\":3,\"at_us\":9,\"ki");
+        let mut f = env.new_writable(&path).unwrap();
+        f.append(&data).unwrap();
+        f.flush().unwrap();
+        drop(f);
+        let (j, next) = EventJournal::open(env.clone(), root, 1 << 20, true).unwrap();
+        assert_eq!(next, 3, "torn tail must not advance the seq");
+        let bus = EventBus::new(vec![j], next);
+        publish_n(&bus, 1);
+        let events = read_events(env.as_ref(), root);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rotation_keeps_seq_monotonic() {
+        let env = MemEnv::shared();
+        let root = Path::new("/db");
+        env.create_dir_all(root).unwrap();
+        let (j, first) = EventJournal::open(env.clone(), root, 1024, false).unwrap();
+        let bus = EventBus::new(vec![j.clone()], first);
+        publish_n(&bus, 100);
+        assert!(env.file_exists(&root.join(EVENTS_OLD_FILE)), "no rotation");
+        assert!(env.file_size(&root.join(EVENTS_FILE)).unwrap() <= 1024);
+        let events = read_events(env.as_ref(), root);
+        assert!(events.len() < 100, "old generations beyond one are dropped");
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq, "seq not monotonic across rotation");
+        }
+        assert_eq!(events.last().unwrap().seq, 100);
+        assert_eq!(j.write_errors(), 0);
+    }
+}

@@ -39,6 +39,7 @@ pub mod batch;
 pub mod db;
 pub mod fetch;
 pub mod iter;
+pub mod journal;
 pub mod maintenance;
 pub mod meta;
 pub mod metrics;
@@ -52,6 +53,7 @@ pub use batch::WriteBatch;
 pub use db::{UniKv, UniKvStats};
 pub use fetch::{FetchMetrics, FetchPool};
 pub use iter::UniKvIterator;
+pub use journal::{read_events, EventJournal, EVENTS_FILE, EVENTS_OLD_FILE};
 pub use maintenance::{
     backoff_delay_ms, HealthReport, HealthState, Job, JobKind, MaintClock, QuarantinedJob,
     SyncPointHook, SyncPoints, SYNC_POINTS,
@@ -59,9 +61,13 @@ pub use maintenance::{
 pub use metrics::DbMetrics;
 pub use options::UniKvOptions;
 pub use router::{SizeRouter, SizeRouterOptions};
+pub use unikv_common::events::{
+    causal_chain, Event, EventBus, EventClock, EventKind, EventListener, Listeners,
+};
 pub use unikv_common::metrics::{
     manual_step_clock, MetricsClock, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceOp,
     TraceOutcome,
 };
+pub use unikv_common::perf::{PerfContext, PerfStage, PERF_STAGE_COUNT};
 pub use unikv_lsm::db::ScanItem;
 pub use verify::{verify_db, FileDamage, VerifyReport};

@@ -72,6 +72,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use unikv_common::events::{EventBus, EventKind};
 use unikv_common::rng::splitmix64_mix;
 use unikv_common::{Error, Result};
 
@@ -384,6 +385,9 @@ struct HealthMeta {
 pub(crate) struct MaintState {
     cfg: RetryConfig,
     stats: Arc<UniKvStats>,
+    /// Lifecycle event bus: health transitions, retries, and quarantines
+    /// publish here so causal chains include degradation episodes.
+    events: Arc<EventBus>,
     queue: Mutex<QueueState>,
     /// Signaled when work may be available (enqueue, job completion,
     /// unpause, shutdown, clock change).
@@ -408,10 +412,15 @@ pub(crate) struct MaintState {
 }
 
 impl MaintState {
-    pub(crate) fn new(cfg: RetryConfig, stats: Arc<UniKvStats>) -> MaintState {
+    pub(crate) fn new(
+        cfg: RetryConfig,
+        stats: Arc<UniKvStats>,
+        events: Arc<EventBus>,
+    ) -> MaintState {
         MaintState {
             cfg,
             stats,
+            events,
             queue: Mutex::new(QueueState {
                 jobs: Vec::new(),
                 inflight: HashMap::new(),
@@ -592,6 +601,20 @@ impl MaintState {
                 &job,
             );
             UniKvStats::add(&self.stats.maint_job_retries, 1);
+            let detail = if self.events.has_listeners() {
+                format!("{:?} attempt {next_attempt}: {err}", job.kind)
+            } else {
+                String::new()
+            };
+            self.events.publish(
+                EventKind::JobRetry,
+                job.partition,
+                None,
+                vec![],
+                vec![],
+                delay,
+                detail,
+            );
             let mut q = self.queue.lock();
             if !q.jobs.iter().any(|p| p.job == job) {
                 q.jobs.push(PendingJob {
@@ -619,6 +642,20 @@ impl MaintState {
             drop(q);
             if newly {
                 UniKvStats::add(&self.stats.maint_jobs_quarantined, 1);
+                let detail = if self.events.has_listeners() {
+                    format!("{:?}: {err}", job.kind)
+                } else {
+                    String::new()
+                };
+                self.events.publish(
+                    EventKind::JobQuarantine,
+                    job.partition,
+                    None,
+                    vec![],
+                    vec![],
+                    0,
+                    detail,
+                );
             }
             self.settle_health(target);
             self.idle_cv.notify_all();
@@ -725,6 +762,7 @@ impl MaintState {
 
     fn transition_locked(&self, meta: &mut HealthMeta, target: HealthState) {
         let now = self.now_ms();
+        let from = meta.state;
         if meta.state == HealthState::Healthy {
             meta.unhealthy_since_ms = now;
         } else if target == HealthState::Healthy {
@@ -736,6 +774,13 @@ impl MaintState {
         meta.state = target;
         self.health.store(target as u8, Ordering::Release);
         UniKvStats::add(&self.stats.health_transitions, 1);
+        let detail = if self.events.has_listeners() {
+            format!("{from:?}->{target:?}")
+        } else {
+            String::new()
+        };
+        self.events
+            .publish(EventKind::HealthChange, 0, None, vec![], vec![], 0, detail);
         self.notify_progress();
     }
 
@@ -912,7 +957,11 @@ mod tests {
     }
 
     fn mstate() -> MaintState {
-        MaintState::new(cfg(), Arc::new(UniKvStats::default()))
+        MaintState::new(
+            cfg(),
+            Arc::new(UniKvStats::default()),
+            EventBus::new(vec![], 1),
+        )
     }
 
     /// A state driven by a manually advanced clock (no real sleeping).
@@ -1258,6 +1307,7 @@ mod tests {
                 jitter_seed: 9,
             },
             Arc::new(UniKvStats::default()),
+            EventBus::new(vec![], 1),
         ));
         m.schedule(job(JobKind::Gc, 0));
         let (j, attempts, _) = m.next_job().unwrap();

@@ -99,6 +99,19 @@ pub struct UniKvOptions {
     /// Capacity of the in-memory op-trace ring (`0` disables tracing;
     /// oldest events are dropped once full).
     pub metrics_trace_events: usize,
+    /// Persist lifecycle events (seal/flush/merge/GC/split, stalls,
+    /// health transitions, WAL retirement — each with a causal `cause`
+    /// link) to a JSON-lines `EVENTS` journal under the database root.
+    /// Off by default: with no journal and no listeners the event path
+    /// is a single atomic increment per structural op.
+    pub enable_event_journal: bool,
+    /// Rotate the `EVENTS` journal to `EVENTS.old` once the live file
+    /// exceeds this many bytes (sequence numbers stay monotonic).
+    pub event_journal_max_bytes: u64,
+    /// Listeners invoked synchronously for every lifecycle event (the
+    /// journal is one). Contract: fast, no re-entrant database calls;
+    /// panics are caught and counted, never propagated.
+    pub listeners: unikv_common::events::Listeners,
 
     // ---- Ablation switches (experiments E7–E10) ----
     /// E7: disable the hash index; UnsortedStore lookups scan tables
@@ -148,6 +161,9 @@ impl Default for UniKvOptions {
             shutdown_join_timeout_ms: 5000,
             enable_metrics: true,
             metrics_trace_events: 1024,
+            enable_event_journal: false,
+            event_journal_max_bytes: 4 << 20,
+            listeners: unikv_common::events::Listeners::default(),
             enable_hash_index: true,
             enable_kv_separation: true,
             enable_partitioning: true,
@@ -225,6 +241,11 @@ impl UniKvOptions {
                 "maint_quarantine_probe_ms must be positive",
             ));
         }
+        if self.enable_event_journal && self.event_journal_max_bytes < 1024 {
+            return Err(unikv_common::Error::invalid_argument(
+                "event_journal_max_bytes must be at least 1 KiB",
+            ));
+        }
         Ok(())
     }
 }
@@ -278,6 +299,11 @@ mod tests {
             },
             UniKvOptions {
                 maint_quarantine_probe_ms: 0,
+                ..Default::default()
+            },
+            UniKvOptions {
+                enable_event_journal: true,
+                event_journal_max_bytes: 100,
                 ..Default::default()
             },
         ];

@@ -61,6 +61,10 @@ pub struct SealedMem {
     /// The frozen memtable; reads keep consulting it until the flushed
     /// table is installed.
     pub mem: Arc<MemTable>,
+    /// Seq of the `Seal` lifecycle event that froze this memtable; the
+    /// eventual flush's `FlushStart` event uses it as its `cause` so the
+    /// seal→flush causal link survives the handoff to a worker thread.
+    pub cause: Option<u64>,
 }
 
 /// Live state of one partition.

@@ -226,6 +226,70 @@ fn crash_at_random_seeded_points_under_background_jobs() {
     }
 }
 
+/// The event journal is advisory even under paranoid recovery: run with
+/// the journal on (paranoid, so every event is synced through the fault
+/// env), crash, tear the journal's tail with a half-written record, and
+/// reopen with `paranoid_checks` + journal still enabled. The open must
+/// succeed, every acked write must survive, and the journal must resume
+/// with monotonic sequence numbers above the surviving prefix.
+#[test]
+fn crash_with_torn_event_journal_recovers_and_journal_resumes() {
+    let fault = FaultInjectionEnv::new(MemEnv::shared());
+    let seed = seed_from_env(0x10E5_CAFE);
+    let journal_opts = || UniKvOptions {
+        enable_event_journal: true,
+        paranoid_checks: true,
+        ..opts(0)
+    };
+    let model = {
+        let db = UniKv::open(fault.clone() as Arc<dyn Env>, "/db", journal_opts()).unwrap();
+        let (model, in_flight) = run_workload(&db, seed);
+        assert!(in_flight.is_none(), "no faults armed, no op may fail");
+        db.flush().unwrap();
+        model
+    };
+    fault.crash().unwrap();
+
+    let path = std::path::Path::new("/db/EVENTS");
+    let survived = unikv::read_events(fault.as_ref(), std::path::Path::new("/db"));
+    assert!(
+        !survived.is_empty(),
+        "paranoid journal lost all synced events"
+    );
+    let max_survived = survived.last().unwrap().seq;
+    let mut data = fault.read_to_vec(path).unwrap();
+    data.extend_from_slice(b"{\"seq\":424242,\"at_us\":7,\"ki");
+    let mut f = fault.new_writable(path).unwrap();
+    f.append(&data).unwrap();
+    f.flush().unwrap();
+    f.sync().unwrap();
+    drop(f);
+
+    let db = UniKv::open(fault.clone() as Arc<dyn Env>, "/db", journal_opts()).unwrap();
+    for (k, expect) in &model {
+        let got = db.get(k).unwrap();
+        assert_eq!(
+            got.as_ref(),
+            expect.as_ref(),
+            "key {} diverged after torn-journal recovery",
+            String::from_utf8_lossy(k)
+        );
+    }
+    // New events continue past the surviving prefix, torn record dropped.
+    db.put(b"post-crash", b"v").unwrap();
+    db.flush().unwrap();
+    drop(db);
+    let events = unikv::read_events(fault.as_ref(), std::path::Path::new("/db"));
+    assert!(events.iter().all(|e| e.seq != 424_242), "torn event kept");
+    assert!(
+        events.last().unwrap().seq > max_survived,
+        "journal did not resume after the torn tail"
+    );
+    for w in events.windows(2) {
+        assert!(w[0].seq < w[1].seq, "seq not monotonic: {w:?}");
+    }
+}
+
 /// The matrix must exercise real structural work: with the workload above
 /// every job kind runs at least once when no fault is armed.
 #[test]

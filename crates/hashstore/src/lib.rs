@@ -21,6 +21,7 @@ use std::sync::Arc;
 use unikv_common::coding::{get_varint32, put_varint32, try_decode_fixed64};
 use unikv_common::hash::hash64;
 use unikv_common::metrics::{EngineMetrics, MetricsRegistry, TraceOutcome};
+use unikv_common::perf::{self, PerfContext, PerfStage};
 use unikv_common::{Error, Result};
 use unikv_env::{Env, RandomAccessFile, WritableFile};
 
@@ -147,7 +148,37 @@ impl HashStore {
 
     /// Insert or update `key`.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.put_observed(key, value, false).map(|_| ())
+    }
+
+    /// [`Self::put`] with per-stage profiling for this one operation.
+    pub fn put_profiled(&self, key: &[u8], value: &[u8]) -> Result<PerfContext> {
+        self.put_observed(key, value, true)
+    }
+
+    fn put_observed(&self, key: &[u8], value: &[u8], profile: bool) -> Result<PerfContext> {
         let t0 = self.metrics.now_micros();
+        if profile {
+            perf::begin_at(self.metrics.clone(), t0);
+        }
+        if let Err(e) = self.put_impl(key, value) {
+            if profile {
+                perf::cancel();
+            }
+            return Err(e);
+        }
+        let t1 = self.metrics.now_micros();
+        let ctx = if profile {
+            perf::finish_at(t1)
+        } else {
+            PerfContext::default()
+        };
+        self.eng.writes.inc();
+        self.eng.put_latency.record(t1.saturating_sub(t0));
+        Ok(ctx)
+    }
+
+    fn put_impl(&self, key: &[u8], value: &[u8]) -> Result<()> {
         let mut inner = self.inner.lock();
         let b = (hash64(key, BUCKET_SEED) % inner.heads.len() as u64) as usize;
         let offset = inner.writer.len();
@@ -158,15 +189,13 @@ impl HashStore {
         rec.extend_from_slice(key);
         rec.extend_from_slice(value);
         inner.writer.append(&rec)?;
+        perf::mark(PerfStage::WalAppend);
         if self.opts.sync_writes {
             inner.writer.sync()?;
+            perf::mark(PerfStage::WalSync);
         }
         inner.heads[b] = offset + 1;
         inner.len += 1;
-        drop(inner);
-        let t1 = self.metrics.now_micros();
-        self.eng.writes.inc();
-        self.eng.put_latency.record(t1.saturating_sub(t0));
         Ok(())
     }
 
@@ -184,9 +213,36 @@ impl HashStore {
     /// the number of log records visited alongside the value, so the
     /// motivation experiment can report read amplification directly.
     pub fn get_traced(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, u64)> {
+        self.get_observed(key, false).map(|(v, n, _)| (v, n))
+    }
+
+    /// [`Self::get`] with per-stage profiling for this one operation.
+    pub fn get_profiled(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, PerfContext)> {
+        self.get_observed(key, true).map(|(v, _, ctx)| (v, ctx))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn get_observed(
+        &self,
+        key: &[u8],
+        profile: bool,
+    ) -> Result<(Option<Vec<u8>>, u64, PerfContext)> {
         let t0 = self.metrics.now_micros();
+        if profile {
+            perf::begin_at(self.metrics.clone(), t0);
+        }
         let r = self.get_traced_impl(key);
         let t1 = self.metrics.now_micros();
+        let ctx = if profile {
+            if r.is_ok() {
+                perf::finish_at(t1)
+            } else {
+                perf::cancel();
+                PerfContext::default()
+            }
+        } else {
+            PerfContext::default()
+        };
         self.eng.get_latency.record(t1.saturating_sub(t0));
         if let Ok((value, _)) = &r {
             // Single-tier store: a hit resolves in the hash-indexed tier
@@ -197,7 +253,7 @@ impl HashStore {
                 TraceOutcome::Miss
             });
         }
-        r
+        r.map(|(v, n)| (v, n, ctx))
     }
 
     fn get_traced_impl(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, u64)> {
@@ -207,11 +263,13 @@ impl HashStore {
             let b = (hash64(key, BUCKET_SEED) % inner.heads.len() as u64) as usize;
             inner.heads[b]
         };
+        perf::mark(PerfStage::IndexProbe);
         let reader = self.reader()?;
         let mut cursor = head;
         let mut visited = 0u64;
         while cursor != 0 {
             visited += 1;
+            perf::count_hash_probes(1);
             let offset = cursor - 1;
             // Read a generous prefix: header + key; re-read if value needed.
             let header = reader.read_at(offset, 8 + 10 + key.len())?;

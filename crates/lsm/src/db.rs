@@ -25,6 +25,7 @@ use unikv_common::ikey::{
     ValueType, MAX_SEQUENCE_NUMBER,
 };
 use unikv_common::metrics::{EngineMetrics, MetricsRegistry, TraceOutcome};
+use unikv_common::perf::{self, PerfContext, PerfStage};
 use unikv_common::{Error, Result};
 use unikv_env::Env;
 use unikv_memtable::{LookupResult, MemTable};
@@ -356,16 +357,50 @@ impl LsmDb {
 
     /// Insert or update `key`.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.write(key, value, ValueType::Value)
+        self.write_observed(key, value, ValueType::Value, false)
+            .map(|_| ())
+    }
+
+    /// [`Self::put`] with per-stage profiling for this one operation.
+    pub fn put_profiled(&self, key: &[u8], value: &[u8]) -> Result<PerfContext> {
+        self.write_observed(key, value, ValueType::Value, true)
     }
 
     /// Delete `key` (writes a tombstone).
     pub fn delete(&self, key: &[u8]) -> Result<()> {
-        self.write(key, b"", ValueType::Deletion)
+        self.write_observed(key, b"", ValueType::Deletion, false)
+            .map(|_| ())
     }
 
-    fn write(&self, key: &[u8], value: &[u8], t: ValueType) -> Result<()> {
+    fn write_observed(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        t: ValueType,
+        profile: bool,
+    ) -> Result<PerfContext> {
         let t0 = self.metrics.now_micros();
+        if profile {
+            perf::begin_at(self.metrics.clone(), t0);
+        }
+        if let Err(e) = self.write_impl(key, value, t) {
+            if profile {
+                perf::cancel();
+            }
+            return Err(e);
+        }
+        let t1 = self.metrics.now_micros();
+        let ctx = if profile {
+            perf::finish_at(t1)
+        } else {
+            PerfContext::default()
+        };
+        self.eng.writes.inc();
+        self.eng.put_latency.record(t1.saturating_sub(t0));
+        Ok(ctx)
+    }
+
+    fn write_impl(&self, key: &[u8], value: &[u8], t: ValueType) -> Result<()> {
         let mut st = self.state.lock();
         let seq = st.last_seq + 1;
         st.last_seq = seq;
@@ -375,6 +410,7 @@ impl LsmDb {
             st.wal.sync()?;
         }
         st.mem.add(seq, t, key, value);
+        perf::mark(PerfStage::Memtable);
         EngineStats::add(
             &self.stats.user_bytes_written,
             (key.len() + value.len()) as u64,
@@ -387,10 +423,6 @@ impl LsmDb {
             // do in LevelDB.
             self.maybe_compact(&mut st, 2)?;
         }
-        self.eng.writes.inc();
-        self.eng
-            .put_latency
-            .record(self.metrics.now_micros().saturating_sub(t0));
         Ok(())
     }
 
@@ -617,13 +649,37 @@ impl LsmDb {
 
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_observed(key, false).map(|(v, _)| v)
+    }
+
+    /// [`Self::get`] with per-stage profiling for this one operation.
+    pub fn get_profiled(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, PerfContext)> {
+        self.get_observed(key, true)
+    }
+
+    fn get_observed(&self, key: &[u8], profile: bool) -> Result<(Option<Vec<u8>>, PerfContext)> {
         let t0 = self.metrics.now_micros();
-        let (value, outcome) = self.get_impl(key)?;
+        if profile {
+            perf::begin_at(self.metrics.clone(), t0);
+        }
+        let (value, outcome) = match self.get_impl(key) {
+            Ok(r) => r,
+            Err(e) => {
+                if profile {
+                    perf::cancel();
+                }
+                return Err(e);
+            }
+        };
         self.eng.record_read(outcome);
-        self.eng
-            .get_latency
-            .record(self.metrics.now_micros().saturating_sub(t0));
-        Ok(value)
+        let t1 = self.metrics.now_micros();
+        let ctx = if profile {
+            perf::finish_at(t1)
+        } else {
+            PerfContext::default()
+        };
+        self.eng.get_latency.record(t1.saturating_sub(t0));
+        Ok((value, ctx))
     }
 
     /// Lookup body; returns the answer plus the tier that resolved it
@@ -636,14 +692,17 @@ impl LsmDb {
         match mem.get(key, snapshot) {
             LookupResult::Value(v) => {
                 EngineStats::add(&self.stats.memtable_hits, 1);
+                perf::mark(PerfStage::Memtable);
                 return Ok((Some(v), TraceOutcome::Memtable));
             }
             LookupResult::Deleted => {
                 EngineStats::add(&self.stats.memtable_hits, 1);
+                perf::mark(PerfStage::Memtable);
                 return Ok((None, TraceOutcome::Memtable));
             }
             LookupResult::NotFound => {}
         }
+        perf::mark(PerfStage::Memtable);
         let seek_key = make_internal_key(key, snapshot, ValueType::Value);
         let leveled = self.opts.policy == CompactionPolicy::Leveled;
         for (level, files) in version.levels.iter().enumerate() {

@@ -8,6 +8,7 @@ use crate::format::{read_block_payload, BlockHandle, Footer, FOOTER_SIZE};
 use crate::KeyCmp;
 use std::sync::Arc;
 use unikv_common::metrics::Counter;
+use unikv_common::perf::{self, PerfStage};
 use unikv_common::{Error, Result};
 use unikv_env::RandomAccessFile;
 
@@ -111,11 +112,13 @@ impl Table {
     }
 
     fn read_data_block(&self, handle: &BlockHandle) -> Result<Arc<Block>> {
-        if let Some(cache) = &self.opts.cache {
+        let block = if let Some(cache) = &self.opts.cache {
             if let Some(block) = cache.get(self.cache_id, handle.offset) {
                 if let Some(io) = &self.opts.io {
                     io.cache_hits.inc();
                 }
+                perf::count_cache_hit();
+                perf::mark(PerfStage::BlockRead);
                 return Ok(block);
             }
             if let Some(io) = &self.opts.io {
@@ -123,19 +126,20 @@ impl Table {
                 io.block_reads.inc();
                 io.block_read_bytes.add(handle.size);
             }
+            perf::count_cache_miss();
             let block = Arc::new(Block::new(read_block_payload(self.file.as_ref(), handle)?)?);
             cache.insert(self.cache_id, handle.offset, block.clone());
-            Ok(block)
+            block
         } else {
             if let Some(io) = &self.opts.io {
                 io.block_reads.inc();
                 io.block_read_bytes.add(handle.size);
             }
-            Ok(Arc::new(Block::new(read_block_payload(
-                self.file.as_ref(),
-                handle,
-            )?)?))
-        }
+            perf::count_cache_miss();
+            Arc::new(Block::new(read_block_payload(self.file.as_ref(), handle)?)?)
+        };
+        perf::mark(PerfStage::BlockRead);
+        Ok(block)
     }
 
     /// Find the first entry with key `>= key`. Returns `(key, value)` or

@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use unikv_common::coding::{get_varint32, put_varint32, varint64_length};
 use unikv_common::metrics::Counter;
+use unikv_common::perf::{self, PerfStage};
 use unikv_common::{crc32c, Error, Result, ValuePointer};
 use unikv_env::{Env, RandomAccessFile, WritableFile};
 
@@ -63,6 +64,8 @@ pub fn read_value_record(
     if crc32c::unmask(stored) != crc32c::value(value) {
         return Err(Error::corruption("vlog value crc mismatch"));
     }
+    perf::count_vlog_fetch();
+    perf::mark(PerfStage::VlogFetch);
     Ok(value.to_vec())
 }
 

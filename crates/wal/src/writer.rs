@@ -2,6 +2,7 @@
 
 use crate::{RecordType, BLOCK_SIZE, HEADER_SIZE};
 use unikv_common::metrics::Counter;
+use unikv_common::perf::{self, PerfStage};
 use unikv_common::{crc32c, Result};
 use unikv_env::WritableFile;
 
@@ -93,6 +94,7 @@ impl LogWriter {
             remaining = &remaining[fragment_len..];
             begin = false;
             if end {
+                perf::mark(PerfStage::WalAppend);
                 return Ok(());
             }
         }
@@ -122,7 +124,9 @@ impl LogWriter {
         if let Some(m) = &self.metrics {
             m.syncs.inc();
         }
-        self.file.sync()
+        let r = self.file.sync();
+        perf::mark(PerfStage::WalSync);
+        r
     }
 
     /// Bytes written to the underlying file.

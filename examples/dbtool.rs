@@ -14,17 +14,47 @@
 //! cargo run --release --example dbtool -- <dir> gc
 //! cargo run --release --example dbtool -- <dir> fill <n> [value_size]
 //! cargo run --release --example dbtool -- <dir> verify
+//! cargo run --release --example dbtool -- <dir> events [--follow | --causes <seq>]
 //! ```
 
 use std::sync::Arc;
-use unikv::{verify_db, UniKv, UniKvOptions};
+use unikv::{causal_chain, read_events, verify_db, Event, UniKv, UniKvOptions};
 use unikv_env::fs::FsEnv;
 
 fn usage() -> ! {
     eprintln!("usage: dbtool <dir> <put k v | get k | del k | scan from [limit] |");
     eprintln!("                      stats | metrics [--machine] | status | compact | gc |");
-    eprintln!("                      fill n [value_size] | verify>");
+    eprintln!("                      fill n [value_size] | verify |");
+    eprintln!("                      events [--follow | --causes seq]>");
     std::process::exit(2);
+}
+
+/// One human-readable journal line: seq, time, kind, partition, the causal
+/// link, and whatever file lists / byte counts the event carries.
+fn render_event(e: &Event) -> String {
+    let mut out = format!(
+        "#{:<6} {:>10}us  {:<18} p{}",
+        e.seq,
+        e.at_micros,
+        e.kind.name(),
+        e.partition
+    );
+    if let Some(c) = e.cause {
+        out.push_str(&format!("  cause=#{c}"));
+    }
+    if !e.inputs.is_empty() {
+        out.push_str(&format!("  in={:?}", e.inputs));
+    }
+    if !e.outputs.is_empty() {
+        out.push_str(&format!("  out={:?}", e.outputs));
+    }
+    if e.bytes > 0 {
+        out.push_str(&format!("  bytes={}", e.bytes));
+    }
+    if !e.detail.is_empty() {
+        out.push_str(&format!("  {}", e.detail));
+    }
+    out
 }
 
 fn main() -> unikv_common::Result<()> {
@@ -49,7 +79,56 @@ fn main() -> unikv_common::Result<()> {
         }
         return Ok(());
     }
-    let db = UniKv::open(Arc::new(FsEnv::new()), &args[0], UniKvOptions::default())?;
+    // `events` replays the persistent journal offline; like `verify` it
+    // runs *before* `UniKv::open` so inspecting a database never mutates
+    // it (open replays WALs and deletes orphans). `--follow` tails the
+    // journal of a database another process has open.
+    if args[1] == "events" {
+        let env = FsEnv::new();
+        let root = std::path::Path::new(&args[0]);
+        match (args.get(2).map(String::as_str), args.get(3)) {
+            (None, _) => {
+                for e in read_events(&env, root) {
+                    println!("{}", render_event(&e));
+                }
+            }
+            (Some("--causes"), Some(seq)) => {
+                let seq: u64 = seq
+                    .parse()
+                    .map_err(|_| unikv_common::Error::invalid_argument("--causes needs a seq"))?;
+                let events = read_events(&env, root);
+                let chain = causal_chain(&events, seq);
+                if chain.is_empty() {
+                    eprintln!("no event #{seq} in the journal (rotated away or never written?)");
+                    std::process::exit(1);
+                }
+                for e in chain {
+                    println!("{}", render_event(&e));
+                }
+            }
+            (Some("--follow"), _) => {
+                let mut last = 0u64;
+                loop {
+                    for e in read_events(&env, root) {
+                        if e.seq > last {
+                            last = e.seq;
+                            println!("{}", render_event(&e));
+                        }
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(500));
+                }
+            }
+            _ => usage(),
+        }
+        return Ok(());
+    }
+    // dbtool keeps the event journal on so every run leaves a causal
+    // record behind for `dbtool <dir> events` to replay.
+    let opts = UniKvOptions {
+        enable_event_journal: true,
+        ..Default::default()
+    };
+    let db = UniKv::open(Arc::new(FsEnv::new()), &args[0], opts)?;
     match (args[1].as_str(), &args[2..]) {
         ("put", [k, v]) => {
             db.put(k.as_bytes(), v.as_bytes())?;

@@ -5,26 +5,41 @@
 //! differ (merges vs compactions, write amp, stalls).
 //!
 //! ```sh
-//! cargo run --release --example mixed_workload [-- <num_keys> <num_ops> [--metrics]]
+//! cargo run --release --example mixed_workload [-- <num_keys> <num_ops> [--metrics] [--perf-sample N]]
 //! ```
 //!
 //! With `--metrics`, each engine also prints its unified metrics report
 //! after the load and mixed phases (reset between phases), and the run
 //! fails if the report is missing any registered metric family — the CI
 //! smoke check for the observability layer.
+//!
+//! With `--perf-sample N`, every Nth operation runs through the engine's
+//! profiled variant; the per-stage profiles are merged per phase and a
+//! breakdown table (router / WAL / memtable / index probe / block read /
+//! vlog fetch ...) is printed after each phase. The run fails if the
+//! UniKV breakdown is missing a declared stage or never exercised the
+//! stages every profiled op must touch — the CI smoke check for the
+//! per-op profiler.
 
 use std::sync::Arc;
 use std::time::Instant;
-use unikv::{UniKv, UniKvOptions};
+use unikv::{PerfContext, PerfStage, UniKv, UniKvOptions};
 use unikv_env::fs::FsEnv;
 use unikv_lsm::{Baseline, LsmDb, LsmOptions};
 use unikv_workload::{format_key, make_value, MixedWorkload, Op};
 
 fn main() -> unikv_common::Result<()> {
-    let (mut positional, mut show_metrics) = (Vec::new(), false);
-    for a in std::env::args().skip(1) {
+    let (mut positional, mut show_metrics, mut perf_sample) = (Vec::new(), false, 0u64);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         if a == "--metrics" {
             show_metrics = true;
+        } else if a == "--perf-sample" {
+            perf_sample = args
+                .next()
+                .and_then(|n| n.parse().ok())
+                .filter(|n| *n > 0)
+                .unwrap_or(100);
         } else {
             positional.push(a);
         }
@@ -56,27 +71,41 @@ fn main() -> unikv_common::Result<()> {
         ..Default::default()
     };
     let unikv = UniKv::open(env.clone(), dir.join("unikv"), scaled_opts.clone())?;
+    let unikv_prof = std::cell::RefCell::new(PerfContext::default());
     run(
         "UniKV",
         num_keys,
         num_ops,
         value_size,
+        perf_sample,
         |op, i| match op {
             Op::Read(k) => unikv.get(&k).map(|_| ()),
             Op::Update(k) => unikv.put(&k, &make_value(i, 1, value_size)),
             _ => Ok(()),
         },
-        |phase| {
+        |op, i| match op {
+            Op::Read(k) => unikv.get_profiled(&k).map(|(_, c)| c),
+            Op::Update(k) => unikv.put_profiled(&k, &make_value(i, 1, value_size)),
+            _ => Ok(PerfContext::default()),
+        },
+        |phase, prof| {
             if show_metrics {
                 dump_phase("UniKV", phase, &unikv.metrics_report());
                 if phase == "load" {
                     unikv.reset_metrics(); // isolate the mixed-phase numbers
                 }
             }
+            if perf_sample > 0 {
+                dump_perf("UniKV", phase, perf_sample, prof);
+                unikv_prof.borrow_mut().merge(prof);
+            }
         },
     )?;
     if show_metrics {
         check_report_complete(&unikv)?;
+    }
+    if perf_sample > 0 {
+        check_perf_complete("UniKV", &unikv_prof.borrow());
     }
     println!(
         "  write amp {:.2}, partitions {}, index {:.1} KiB",
@@ -98,14 +127,23 @@ fn main() -> unikv_common::Result<()> {
         num_keys,
         num_ops,
         value_size,
+        perf_sample,
         |op, i| match op {
             Op::Read(k) => unikv_bg.get(&k).map(|_| ()),
             Op::Update(k) => unikv_bg.put(&k, &make_value(i, 1, value_size)),
             _ => Ok(()),
         },
-        |phase| {
+        |op, i| match op {
+            Op::Read(k) => unikv_bg.get_profiled(&k).map(|(_, c)| c),
+            Op::Update(k) => unikv_bg.put_profiled(&k, &make_value(i, 1, value_size)),
+            _ => Ok(PerfContext::default()),
+        },
+        |phase, prof| {
             if show_metrics {
                 dump_phase("UniKV (bg)", phase, &unikv_bg.metrics_report());
+            }
+            if perf_sample > 0 {
+                dump_perf("UniKV (bg)", phase, perf_sample, prof);
             }
         },
     )?;
@@ -150,14 +188,23 @@ fn main() -> unikv_common::Result<()> {
         num_keys,
         num_ops,
         value_size,
+        perf_sample,
         |op, i| match op {
             Op::Read(k) => leveldb.get(&k).map(|_| ()),
             Op::Update(k) => leveldb.put(&k, &make_value(i, 1, value_size)),
             _ => Ok(()),
         },
-        |phase| {
+        |op, i| match op {
+            Op::Read(k) => leveldb.get_profiled(&k).map(|(_, c)| c),
+            Op::Update(k) => leveldb.put_profiled(&k, &make_value(i, 1, value_size)),
+            _ => Ok(PerfContext::default()),
+        },
+        |phase, prof| {
             if show_metrics && phase == "mixed" {
                 dump_phase("LevelDB-like", phase, &leveldb.metrics_report());
+            }
+            if perf_sample > 0 && phase == "mixed" {
+                dump_perf("LevelDB-like", phase, perf_sample, prof);
             }
         },
     )?;
@@ -174,30 +221,46 @@ fn main() -> unikv_common::Result<()> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     name: &str,
     num_keys: u64,
     num_ops: u64,
     value_size: usize,
+    perf_sample: u64,
     mut apply: impl FnMut(Op, u64) -> unikv_common::Result<()>,
-    mut on_phase: impl FnMut(&str),
+    mut apply_profiled: impl FnMut(Op, u64) -> unikv_common::Result<PerfContext>,
+    mut on_phase: impl FnMut(&str, &PerfContext),
 ) -> unikv_common::Result<()> {
+    // Every `perf_sample`th op (when sampling) runs the engine's profiled
+    // variant; the per-op profiles merge into one per-phase breakdown.
+    let mut step = |op: Op, i: u64, prof: &mut PerfContext| {
+        if perf_sample > 0 && i.is_multiple_of(perf_sample) {
+            prof.merge(&apply_profiled(op, i)?);
+            Ok(())
+        } else {
+            apply(op, i)
+        }
+    };
+
     // Load phase.
+    let mut prof = PerfContext::default();
     let start = Instant::now();
     for i in 0..num_keys {
-        apply(Op::Update(format_key(i)), i)?;
+        step(Op::Update(format_key(i)), i, &mut prof)?;
     }
     let load = start.elapsed().as_secs_f64();
-    on_phase("load");
+    on_phase("load", &prof);
 
     // Mixed phase: 50% reads / 50% updates, zipfian.
+    let mut prof = PerfContext::default();
     let mut w = MixedWorkload::new(0.5, num_keys, false, 42);
     let start = Instant::now();
     for i in 0..num_ops {
-        apply(w.next_op(), i)?;
+        step(w.next_op(), i, &mut prof)?;
     }
     let mixed = start.elapsed().as_secs_f64();
-    on_phase("mixed");
+    on_phase("mixed", &prof);
 
     let load_mb = (num_keys as usize * value_size) as f64 / (1 << 20) as f64;
     println!(
@@ -212,6 +275,40 @@ fn run(
 fn dump_phase(engine: &str, phase: &str, report: &str) {
     println!("---- {engine} metrics after {phase} phase ----");
     print!("{report}");
+}
+
+fn dump_perf(engine: &str, phase: &str, every: u64, prof: &PerfContext) {
+    println!("---- {engine} per-op stage breakdown, {phase} phase (every {every}th op) ----");
+    print!("{}", prof.render_table());
+}
+
+/// CI smoke check: the profiled UniKV run must render every declared
+/// stage, and the stages every profiled op necessarily crosses (route,
+/// memtable, WAL append for writes, plus the residual) must have fired.
+fn check_perf_complete(engine: &str, prof: &PerfContext) {
+    let table = prof.render_table();
+    let mut missing: Vec<&str> = PerfStage::ALL
+        .iter()
+        .filter(|s| !table.contains(s.name()))
+        .map(|s| s.name())
+        .collect();
+    for required in [
+        PerfStage::Router,
+        PerfStage::Memtable,
+        PerfStage::WalAppend,
+        PerfStage::Other,
+    ] {
+        if prof.stage_hits[required as usize] == 0 {
+            missing.push(required.name());
+        }
+    }
+    if prof.ops == 0 || !missing.is_empty() {
+        eprintln!(
+            "{engine} perf breakdown incomplete: {} profiled ops, missing or unhit stages {missing:?}",
+            prof.ops
+        );
+        std::process::exit(1);
+    }
 }
 
 /// CI smoke check: the machine report must contain a line for every
